@@ -1,0 +1,48 @@
+//! Experiment FIG3/4/A-1 — the configuration surface.
+//!
+//! Figures 3, 4 and A-1 of the paper are the login/protocol/replication
+//! configuration panels, and Section 4.2 notes that "the configuration data
+//! can be saved for reuse in another session". The functional reproduction
+//! is the [`rainbow_control::SessionConfig`] save/load round trip; this
+//! bench measures it (serialize + parse) for classroom-scale and larger
+//! configurations so the cost of the feature is documented.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rainbow_common::config::DatabaseSchema;
+use rainbow_common::protocol::ProtocolStack;
+use rainbow_control::SessionConfig;
+use std::time::Duration;
+
+fn config_with(items: usize, sites: usize) -> SessionConfig {
+    let mut config = SessionConfig::default();
+    config.distribution = rainbow_common::config::DistributionSchema::one_site_per_host(sites);
+    config.database =
+        DatabaseSchema::uniform(items, 100, &config.distribution.site_ids(), 3.min(sites))
+            .expect("schema");
+    config.stack = ProtocolStack::rainbow_default();
+    config
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    for (label, items, sites) in [
+        ("classroom_16items_4sites", 16, 4),
+        ("large_1024items_16sites", 1024, 16),
+    ] {
+        let config = config_with(items, sites);
+        c.bench_function(&format!("config_roundtrip/{label}"), |b| {
+            b.iter(|| {
+                let json = config.to_json().unwrap();
+                let back = SessionConfig::from_json(&json).unwrap();
+                assert_eq!(back.database.len(), config.database.len());
+                back
+            });
+        });
+    }
+}
+
+criterion_group!(
+    name = config;
+    config = Criterion::default().sample_size(30).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_roundtrip
+);
+criterion_main!(config);

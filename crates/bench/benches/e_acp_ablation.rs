@@ -1,0 +1,66 @@
+//! Experiment E-ACP — 2PC vs 3PC: message overhead and latency per commit.
+//!
+//! Section 5 of the paper proposes "replacing two phase commit by
+//! three-phase commit" as a term project; this ablation quantifies what the
+//! student should observe: 3PC's extra pre-commit round costs one more
+//! message round trip per participant and correspondingly higher response
+//! time, in exchange for non-blocking termination (exercised in the
+//! failures integration tests).
+//!
+//! A second table isolates the commit-protocol traffic by message kind so
+//! the extra PRE-COMMIT / PRE-COMMIT-ACK round is directly visible.
+
+use rainbow_bench::{run_experiment, stack, standard_table, RunSpec};
+use rainbow_common::protocol::{AcpKind, CcpKind, RcpKind};
+use rainbow_control::ExperimentTable;
+use rainbow_wlg::WorkloadProfile;
+
+fn main() {
+    println!("Experiment E-ACP: 2PC vs 3PC ablation");
+    println!("paper reference: Section 5 (term projects)\n");
+
+    let mut summary = ExperimentTable::new(
+        "2PC vs 3PC (4 sites, write-heavy, degree 3)",
+        &["ACP", "commit%", "msgs/txn", "rt-mean ms", "rt-p95 ms"],
+    );
+    let mut kinds = ExperimentTable::new(
+        "commit-protocol messages by kind",
+        &["ACP", "PREPARE", "VOTE", "PRECOMMIT", "PRECOMMIT_ACK", "DECISION", "ACK"],
+    );
+    let mut detail = Vec::new();
+
+    for acp in [AcpKind::TwoPhaseCommit, AcpKind::ThreePhaseCommit] {
+        let spec = RunSpec::baseline("")
+            .with_sites(4)
+            .with_items(12)
+            .with_replication(3)
+            .with_profile(WorkloadProfile::WriteHeavy)
+            .with_transactions(150)
+            .with_mpl(8)
+            .with_seed(11)
+            .with_stack(stack(RcpKind::QuorumConsensus, CcpKind::TwoPhaseLocking, acp));
+        let mut point = run_experiment(&spec);
+        point.label = acp.to_string();
+        summary.row(&[
+            acp.to_string(),
+            format!("{:.1}", point.commit_rate * 100.0),
+            format!("{:.1}", point.messages_per_txn),
+            format!("{:.2}", point.mean_response_ms),
+            format!("{:.2}", point.p95_response_ms),
+        ]);
+        kinds.row(&[
+            acp.to_string(),
+            point.stats.messages.kind("ACP_PREPARE").to_string(),
+            point.stats.messages.kind("ACP_VOTE").to_string(),
+            point.stats.messages.kind("ACP_PRECOMMIT").to_string(),
+            point.stats.messages.kind("ACP_PRECOMMIT_ACK").to_string(),
+            point.stats.messages.kind("ACP_DECISION").to_string(),
+            point.stats.messages.kind("ACP_ACK").to_string(),
+        ]);
+        detail.push(point);
+    }
+
+    println!("{}", summary.render());
+    println!("{}", kinds.render());
+    println!("{}", standard_table("full statistics", &detail).render());
+}

@@ -1,0 +1,86 @@
+//! Experiment E-QC — quorum consensus message traffic vs ROWA.
+//!
+//! Section 3 of the paper cites the quorum-consensus behaviour and message
+//! traffic study (reference [3], the SETH system) as the flagship research
+//! use of Rainbow. This bench regenerates that study's shape: total messages
+//! and messages per transaction for QC vs ROWA as the replication degree and
+//! the read/write mix vary.
+//!
+//! Expected shape: ROWA reads are cheap (one copy) so ROWA wins on
+//! read-heavy workloads and low replication degrees; QC's read cost grows
+//! with the quorum size, but its write quorums are smaller than ROWA's
+//! write-all, so the gap narrows (and message *availability* cost reverses —
+//! see the failures experiment) as the update fraction and degree grow.
+
+use rainbow_bench::{run_experiment, stack, standard_table, RunSpec};
+use rainbow_common::protocol::{AcpKind, CcpKind, RcpKind};
+use rainbow_control::ExperimentTable;
+use rainbow_wlg::WorkloadProfile;
+
+fn main() {
+    println!("Experiment E-QC: quorum message traffic (QC vs ROWA)");
+    println!("paper reference: Section 3, reference [3]\n");
+
+    let mut summary = ExperimentTable::new(
+        "messages per transaction: QC vs ROWA",
+        &["profile", "degree", "ROWA msgs/txn", "QC msgs/txn", "winner"],
+    );
+    let mut detail_points = Vec::new();
+
+    for profile in [WorkloadProfile::ReadHeavy, WorkloadProfile::WriteHeavy] {
+        for degree in [1usize, 3, 5, 7] {
+            let sites = degree.max(3).max(degree);
+            let base = RunSpec::baseline("")
+                .with_sites(sites.max(3))
+                .with_items(12)
+                .with_replication(degree)
+                .with_transactions(120)
+                .with_profile(profile)
+                .with_mpl(8);
+
+            let rowa = run_experiment(
+                &base
+                    .clone()
+                    .with_stack(stack(
+                        RcpKind::Rowa,
+                        CcpKind::TwoPhaseLocking,
+                        AcpKind::TwoPhaseCommit,
+                    ))
+                    .with_seed(degree as u64),
+            );
+            let qc = run_experiment(
+                &base
+                    .with_stack(stack(
+                        RcpKind::QuorumConsensus,
+                        CcpKind::TwoPhaseLocking,
+                        AcpKind::TwoPhaseCommit,
+                    ))
+                    .with_seed(degree as u64),
+            );
+            let winner = if rowa.messages_per_txn <= qc.messages_per_txn {
+                "ROWA"
+            } else {
+                "QC"
+            };
+            summary.row(&[
+                profile.name().to_string(),
+                degree.to_string(),
+                format!("{:.1}", rowa.messages_per_txn),
+                format!("{:.1}", qc.messages_per_txn),
+                winner.to_string(),
+            ]);
+            let mut rowa = rowa;
+            rowa.label = format!("{} d={degree} ROWA", profile.name());
+            let mut qc = qc;
+            qc.label = format!("{} d={degree} QC", profile.name());
+            detail_points.push(rowa);
+            detail_points.push(qc);
+        }
+    }
+
+    println!("{}", summary.render());
+    println!(
+        "{}",
+        standard_table("full statistics per configuration", &detail_points).render()
+    );
+}

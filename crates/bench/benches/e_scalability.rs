@@ -1,0 +1,84 @@
+//! Experiment E-SCALE — throughput, response time and load balance as the
+//! number of sites and the multiprogramming level grow.
+//!
+//! Section 3 lists "transaction throughput and response time measures" and
+//! "load balance/imbalance indicators" among the output statistics. This
+//! bench sweeps the number of sites (replication degree fixed at 3) and the
+//! MPL and prints throughput, mean/p95 response time and the load-imbalance
+//! coefficient; a second table shows the imbalance when every transaction is
+//! pinned to a single home site (the pathological load the indicator is
+//! meant to expose).
+
+use rainbow_bench::{build_session, run_experiment, standard_table, RunSpec};
+use rainbow_common::SiteId;
+use rainbow_control::ExperimentTable;
+use rainbow_wlg::{ArrivalProcess, HomePolicy, WorkloadProfile};
+
+fn main() {
+    println!("Experiment E-SCALE: throughput / response time / load balance");
+    println!("paper reference: Section 3 statistics list\n");
+
+    let mut summary = ExperimentTable::new(
+        "throughput and response time vs number of sites (read-heavy, MPL sweep)",
+        &["sites", "MPL", "tput/s", "rt-mean ms", "rt-p95 ms", "imbalance"],
+    );
+    let mut detail = Vec::new();
+
+    for sites in [2usize, 4, 6, 8] {
+        for mpl in [4usize, 16] {
+            let spec = RunSpec::baseline("")
+                .with_sites(sites)
+                .with_items(4 * sites)
+                .with_replication(3.min(sites))
+                .with_profile(WorkloadProfile::ReadHeavy)
+                .with_transactions(160)
+                .with_mpl(mpl)
+                .with_seed(sites as u64 * 10 + mpl as u64);
+            let mut point = run_experiment(&spec);
+            point.label = format!("{sites} sites mpl={mpl}");
+            summary.row(&[
+                sites.to_string(),
+                mpl.to_string(),
+                format!("{:.1}", point.throughput),
+                format!("{:.2}", point.mean_response_ms),
+                format!("{:.2}", point.p95_response_ms),
+                format!("{:.3}", point.load_imbalance),
+            ]);
+            detail.push(point);
+        }
+    }
+    println!("{}", summary.render());
+
+    // Load-imbalance table: balanced (round-robin homes) vs all transactions
+    // pinned to site 0.
+    let mut imbalance = ExperimentTable::new(
+        "load imbalance indicator: balanced vs single-home workloads (4 sites)",
+        &["home policy", "imbalance (cv)", "tput/s"],
+    );
+    for (label, policy) in [
+        ("round-robin", HomePolicy::RoundRobin),
+        ("all at site0", HomePolicy::Fixed(SiteId(0))),
+    ] {
+        let spec = RunSpec::baseline("imbalance").with_sites(4).with_items(16);
+        let session = build_session(&spec);
+        let params = WorkloadProfile::ReadHeavy
+            .params(
+                session.config().database.item_ids(),
+                session.site_ids(),
+                120,
+                7,
+            )
+            .with_home(policy);
+        session
+            .run_params(params, ArrivalProcess::Closed { mpl: 8 })
+            .expect("workload");
+        let stats = session.statistics().expect("stats");
+        imbalance.row(&[
+            label.to_string(),
+            format!("{:.3}", stats.load.imbalance()),
+            format!("{:.1}", stats.throughput()),
+        ]);
+    }
+    println!("{}", imbalance.render());
+    println!("{}", standard_table("full statistics", &detail).render());
+}

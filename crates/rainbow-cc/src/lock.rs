@@ -1,0 +1,623 @@
+//! The strict two-phase-locking lock manager.
+//!
+//! One [`LockManager`] guards the local copies of one Rainbow site. It
+//! implements shared/exclusive item locks with upgrades, bounded waiting,
+//! and all four deadlock-handling policies exposed in the protocol
+//! configuration panel:
+//!
+//! * **wait-for-graph**: the requester blocks; if adding its wait edges
+//!   creates a cycle, the requester is aborted as the deadlock victim;
+//! * **wait-die**: an older requester waits, a younger requester is aborted
+//!   immediately ("dies");
+//! * **wound-wait**: an older requester "wounds" (aborts) younger holders and
+//!   then waits; a younger requester simply waits;
+//! * **timeout-only**: the requester waits and the wait timeout is the only
+//!   deadlock resolution mechanism.
+//!
+//! Waits are always bounded by the configured lock-wait timeout, whatever the
+//! policy, so a distributed deadlock spanning several sites (which no local
+//! wait-for graph can see) is eventually broken as well.
+
+use parking_lot::{Condvar, Mutex};
+use rainbow_common::protocol::DeadlockPolicy;
+use rainbow_common::{ItemId, Timestamp, TxnId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Lock modes on an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock; compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock; incompatible with everything.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Whether a holder in `self` mode allows another transaction to acquire
+    /// `other`.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// Why a lock request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The request would deadlock (wait-for-graph cycle, or wait-die /
+    /// wound-wait ordering said the requester must abort).
+    Deadlock,
+    /// The wait timed out.
+    Timeout,
+    /// The transaction was wounded by an older transaction (wound-wait) and
+    /// must abort.
+    Wounded,
+}
+
+#[derive(Debug, Default)]
+struct ItemLockState {
+    /// Current holders. Invariant: either any number of `Shared` holders or
+    /// exactly one `Exclusive` holder.
+    holders: Vec<(TxnId, LockMode)>,
+    /// Transactions currently waiting on this item (used for fairness-free
+    /// bookkeeping and diagnostics).
+    waiters: VecDeque<TxnId>,
+}
+
+#[derive(Debug, Default)]
+struct LockTable {
+    items: HashMap<ItemId, ItemLockState>,
+    /// Items each transaction holds locks on (for release).
+    held: HashMap<TxnId, HashSet<ItemId>>,
+    /// Timestamp of every transaction the manager has seen (for wait-die /
+    /// wound-wait ordering).
+    timestamps: HashMap<TxnId, Timestamp>,
+    /// Transactions wounded by an older requester; they must abort.
+    wounded: HashSet<TxnId>,
+    /// Wait-for edges: waiter → set of holders it waits for.
+    waits_for: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl LockTable {
+    /// Whether `txn` can be granted `mode` on `item` right now. Also returns
+    /// true for lock re-acquisition / no-op requests.
+    fn can_grant(&self, item: &ItemId, txn: TxnId, mode: LockMode) -> bool {
+        let Some(state) = self.items.get(item) else {
+            return true;
+        };
+        let held_mode = state
+            .holders
+            .iter()
+            .find(|(holder, _)| *holder == txn)
+            .map(|(_, m)| *m);
+        match (held_mode, mode) {
+            // Already holds an equal or stronger lock.
+            (Some(LockMode::Exclusive), _) | (Some(LockMode::Shared), LockMode::Shared) => true,
+            // Upgrade: allowed only when it is the sole holder.
+            (Some(LockMode::Shared), LockMode::Exclusive) => state.holders.len() == 1,
+            // New request: must be compatible with every holder.
+            (None, requested) => state
+                .holders
+                .iter()
+                .all(|(_, held)| held.compatible(requested)),
+        }
+    }
+
+    /// Grants the lock (assumes `can_grant` returned true).
+    fn grant(&mut self, item: &ItemId, txn: TxnId, mode: LockMode) {
+        let state = self.items.entry(item.clone()).or_default();
+        if let Some(entry) = state.holders.iter_mut().find(|(holder, _)| *holder == txn) {
+            // Upgrade shared → exclusive if requested.
+            if mode == LockMode::Exclusive {
+                entry.1 = LockMode::Exclusive;
+            }
+        } else {
+            state.holders.push((txn, mode));
+        }
+        self.held.entry(txn).or_default().insert(item.clone());
+    }
+
+    /// The holders whose locks conflict with `txn` requesting `mode`.
+    fn conflicting_holders(&self, item: &ItemId, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        let Some(state) = self.items.get(item) else {
+            return Vec::new();
+        };
+        state
+            .holders
+            .iter()
+            .filter(|(holder, held)| *holder != txn && !held.compatible(mode))
+            .map(|(holder, _)| *holder)
+            .collect()
+    }
+
+    /// Depth-first search for a cycle through `start` in the wait-for graph.
+    fn creates_cycle(&self, start: TxnId) -> bool {
+        // Does any path from a node `start` waits for lead back to `start`?
+        let mut stack: Vec<TxnId> = self
+            .waits_for
+            .get(&start)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        while let Some(node) = stack.pop() {
+            if node == start {
+                return true;
+            }
+            if !visited.insert(node) {
+                continue;
+            }
+            if let Some(next) = self.waits_for.get(&node) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// Counters exposed for the concurrency-control ablation experiments.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    grants: AtomicU64,
+    waits: AtomicU64,
+    deadlock_aborts: AtomicU64,
+    wounds: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl LockStats {
+    /// Locks granted (including re-grants and upgrades).
+    pub fn grants(&self) -> u64 {
+        self.grants.load(Ordering::Relaxed)
+    }
+    /// Requests that had to wait at least once.
+    pub fn waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+    /// Requests aborted for deadlock avoidance/detection (wait-die "die",
+    /// wait-for-graph victim).
+    pub fn deadlock_aborts(&self) -> u64 {
+        self.deadlock_aborts.load(Ordering::Relaxed)
+    }
+    /// Holders wounded by older requesters (wound-wait).
+    pub fn wounds(&self) -> u64 {
+        self.wounds.load(Ordering::Relaxed)
+    }
+    /// Requests that gave up on timeout.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+/// The lock manager of one site.
+pub struct LockManager {
+    policy: DeadlockPolicy,
+    timeout: Duration,
+    table: Mutex<LockTable>,
+    released: Condvar,
+    stats: LockStats,
+}
+
+impl LockManager {
+    /// Creates a lock manager with the given deadlock policy and wait
+    /// timeout.
+    pub fn new(policy: DeadlockPolicy, timeout: Duration) -> Self {
+        LockManager {
+            policy,
+            timeout,
+            table: Mutex::new(LockTable::default()),
+            released: Condvar::new(),
+            stats: LockStats::default(),
+        }
+    }
+
+    /// The configured deadlock policy.
+    pub fn policy(&self) -> DeadlockPolicy {
+        self.policy
+    }
+
+    /// The lock statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Whether the transaction has been wounded and must abort.
+    pub fn is_wounded(&self, txn: TxnId) -> bool {
+        self.table.lock().wounded.contains(&txn)
+    }
+
+    /// Acquires `mode` on `item` for `txn` (timestamp `ts`), blocking up to
+    /// the configured timeout.
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        ts: Timestamp,
+        item: &ItemId,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        let deadline = Instant::now() + self.timeout;
+        let mut table = self.table.lock();
+        table.timestamps.insert(txn, ts);
+        let mut waited = false;
+
+        loop {
+            if table.wounded.contains(&txn) {
+                self.cleanup_waiter(&mut table, txn, item);
+                return Err(LockError::Wounded);
+            }
+            if table.can_grant(item, txn, mode) {
+                table.grant(item, txn, mode);
+                self.cleanup_waiter(&mut table, txn, item);
+                self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+
+            let conflicts = table.conflicting_holders(item, txn, mode);
+
+            // Apply the deadlock policy before (possibly) waiting.
+            match self.policy {
+                DeadlockPolicy::WaitDie => {
+                    // The requester may only wait for *younger* holders
+                    // (i.e. the requester must be the oldest). Otherwise it
+                    // dies.
+                    let older_holder_exists = conflicts.iter().any(|holder| {
+                        table
+                            .timestamps
+                            .get(holder)
+                            .map(|holder_ts| *holder_ts < ts)
+                            .unwrap_or(false)
+                    });
+                    if older_holder_exists {
+                        self.cleanup_waiter(&mut table, txn, item);
+                        self.stats.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                        return Err(LockError::Deadlock);
+                    }
+                }
+                DeadlockPolicy::WoundWait => {
+                    // An older requester wounds every younger conflicting
+                    // holder; a younger requester just waits.
+                    let mut wounded_someone = false;
+                    for holder in &conflicts {
+                        let younger = table
+                            .timestamps
+                            .get(holder)
+                            .map(|holder_ts| *holder_ts > ts)
+                            .unwrap_or(true);
+                        if younger && table.wounded.insert(*holder) {
+                            wounded_someone = true;
+                            self.stats.wounds.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if wounded_someone {
+                        // Wounded holders discover their fate on their next
+                        // CCP call; wake anyone waiting so progress resumes
+                        // as soon as they release.
+                        self.released.notify_all();
+                    }
+                }
+                DeadlockPolicy::WaitForGraph => {
+                    let edges: HashSet<TxnId> = conflicts.iter().copied().collect();
+                    table.waits_for.insert(txn, edges);
+                    if table.creates_cycle(txn) {
+                        table.waits_for.remove(&txn);
+                        self.cleanup_waiter(&mut table, txn, item);
+                        self.stats.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                        return Err(LockError::Deadlock);
+                    }
+                }
+                DeadlockPolicy::TimeoutOnly => {}
+            }
+
+            // Register as a waiter (diagnostics only) and block.
+            {
+                let state = table.items.entry(item.clone()).or_default();
+                if !state.waiters.contains(&txn) {
+                    state.waiters.push_back(txn);
+                }
+            }
+            if !waited {
+                waited = true;
+                self.stats.waits.fetch_add(1, Ordering::Relaxed);
+            }
+            let timed_out = self
+                .released
+                .wait_until(&mut table, deadline)
+                .timed_out();
+            if timed_out {
+                self.cleanup_waiter(&mut table, txn, item);
+                // One last chance: the lock may have been released exactly at
+                // the deadline.
+                if table.can_grant(item, txn, mode) && !table.wounded.contains(&txn) {
+                    table.grant(item, txn, mode);
+                    self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(LockError::Timeout);
+            }
+        }
+    }
+
+    /// Removes `txn` from the waiter list of `item` and drops its wait-for
+    /// edges.
+    fn cleanup_waiter(&self, table: &mut LockTable, txn: TxnId, item: &ItemId) {
+        if let Some(state) = table.items.get_mut(item) {
+            state.waiters.retain(|waiter| *waiter != txn);
+        }
+        table.waits_for.remove(&txn);
+    }
+
+    /// Releases every lock held by `txn` (strict 2PL: called at commit or
+    /// abort) and clears its wounded flag and bookkeeping.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut table = self.table.lock();
+        if let Some(items) = table.held.remove(&txn) {
+            for item in items {
+                if let Some(state) = table.items.get_mut(&item) {
+                    state.holders.retain(|(holder, _)| *holder != txn);
+                    if state.holders.is_empty() && state.waiters.is_empty() {
+                        table.items.remove(&item);
+                    }
+                }
+            }
+        }
+        table.wounded.remove(&txn);
+        table.waits_for.remove(&txn);
+        table.timestamps.remove(&txn);
+        // Remove txn from any other wait-for edge sets.
+        for edges in table.waits_for.values_mut() {
+            edges.remove(&txn);
+        }
+        drop(table);
+        self.released.notify_all();
+    }
+
+    /// Locks currently held by `txn` (for tests and diagnostics).
+    pub fn held_by(&self, txn: TxnId) -> Vec<ItemId> {
+        let table = self.table.lock();
+        table
+            .held
+            .get(&txn)
+            .map(|items| items.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of transactions currently holding at least one lock.
+    pub fn active_transactions(&self) -> usize {
+        self.table.lock().held.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::SiteId;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(SiteId(0), seq)
+    }
+
+    fn ts(counter: u64) -> Timestamp {
+        Timestamp::new(counter, 0)
+    }
+
+    fn item(name: &str) -> ItemId {
+        ItemId::new(name)
+    }
+
+    fn manager(policy: DeadlockPolicy) -> LockManager {
+        LockManager::new(policy, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lm = manager(DeadlockPolicy::WaitForGraph);
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Shared).unwrap();
+        lm.acquire(txn(2), ts(2), &item("x"), LockMode::Shared).unwrap();
+        assert_eq!(lm.active_transactions(), 2);
+        assert_eq!(lm.stats().grants(), 2);
+        assert_eq!(lm.stats().waits(), 0);
+    }
+
+    #[test]
+    fn exclusive_conflicts_block_until_release() {
+        let lm = Arc::new(manager(DeadlockPolicy::TimeoutOnly));
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+
+        let lm2 = Arc::clone(&lm);
+        let waiter = thread::spawn(move || lm2.acquire(txn(2), ts(2), &item("x"), LockMode::Shared));
+        thread::sleep(Duration::from_millis(20));
+        lm.release_all(txn(1));
+        assert_eq!(waiter.join().unwrap(), Ok(()));
+        assert!(lm.held_by(txn(2)).contains(&item("x")));
+        assert!(lm.stats().waits() >= 1);
+    }
+
+    #[test]
+    fn conflicting_request_times_out() {
+        let lm = manager(DeadlockPolicy::TimeoutOnly);
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        let start = Instant::now();
+        let result = lm.acquire(txn(2), ts(2), &item("x"), LockMode::Exclusive);
+        assert_eq!(result, Err(LockError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(90));
+        assert_eq!(lm.stats().timeouts(), 1);
+    }
+
+    #[test]
+    fn reacquisition_and_upgrade() {
+        let lm = manager(DeadlockPolicy::WaitForGraph);
+        let t = txn(1);
+        lm.acquire(t, ts(1), &item("x"), LockMode::Shared).unwrap();
+        // Re-acquiring the same or weaker lock is a no-op.
+        lm.acquire(t, ts(1), &item("x"), LockMode::Shared).unwrap();
+        // Upgrade succeeds because t is the sole holder.
+        lm.acquire(t, ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        // Exclusive holder can "downgrade-request" shared: still granted.
+        lm.acquire(t, ts(1), &item("x"), LockMode::Shared).unwrap();
+        assert_eq!(lm.held_by(t), vec![item("x")]);
+
+        // Another reader cannot get in now.
+        assert_eq!(
+            lm.acquire(txn(2), ts(2), &item("x"), LockMode::Shared),
+            Err(LockError::Timeout)
+        );
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_readers_times_out() {
+        let lm = manager(DeadlockPolicy::TimeoutOnly);
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Shared).unwrap();
+        lm.acquire(txn(2), ts(2), &item("x"), LockMode::Shared).unwrap();
+        assert_eq!(
+            lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive),
+            Err(LockError::Timeout)
+        );
+    }
+
+    #[test]
+    fn wait_for_graph_detects_two_party_deadlock() {
+        let lm = Arc::new(LockManager::new(
+            DeadlockPolicy::WaitForGraph,
+            Duration::from_millis(500),
+        ));
+        // T1 holds x, T2 holds y.
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(2), ts(2), &item("y"), LockMode::Exclusive).unwrap();
+
+        // T1 waits for y in a background thread.
+        let lm1 = Arc::clone(&lm);
+        let h1 = thread::spawn(move || lm1.acquire(txn(1), ts(1), &item("y"), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        // T2 requests x: the wait-for graph now has a cycle, T2 is the victim.
+        let result = lm.acquire(txn(2), ts(2), &item("x"), LockMode::Exclusive);
+        assert_eq!(result, Err(LockError::Deadlock));
+        assert!(lm.stats().deadlock_aborts() >= 1);
+
+        // Victim aborts, releasing y; T1's wait completes.
+        lm.release_all(txn(2));
+        assert_eq!(h1.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn wait_die_aborts_younger_requesters() {
+        let lm = manager(DeadlockPolicy::WaitDie);
+        // Older transaction (smaller ts) holds the lock.
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        // Younger requester dies immediately.
+        let start = Instant::now();
+        assert_eq!(
+            lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive),
+            Err(LockError::Deadlock)
+        );
+        assert!(start.elapsed() < Duration::from_millis(50), "die must be immediate");
+        assert_eq!(lm.stats().deadlock_aborts(), 1);
+    }
+
+    #[test]
+    fn wait_die_lets_older_requesters_wait() {
+        let lm = Arc::new(manager(DeadlockPolicy::WaitDie));
+        // Younger transaction holds the lock.
+        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let older = thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(20));
+        lm.release_all(txn(2));
+        assert_eq!(older.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn wound_wait_wounds_younger_holders() {
+        let lm = Arc::new(manager(DeadlockPolicy::WoundWait));
+        // Younger transaction holds the lock.
+        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive).unwrap();
+        // Older requester wounds it and waits.
+        let lm2 = Arc::clone(&lm);
+        let older = thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(20));
+        assert!(lm.is_wounded(txn(2)), "younger holder must be wounded");
+        assert!(lm.stats().wounds() >= 1);
+        // The wounded holder aborts and releases; the older requester gets the lock.
+        lm.release_all(txn(2));
+        assert_eq!(older.join().unwrap(), Ok(()));
+        // After release_all the wounded flag is cleared for reuse of the id.
+        assert!(!lm.is_wounded(txn(2)));
+    }
+
+    #[test]
+    fn wound_wait_younger_requester_waits_without_wounding() {
+        let lm = manager(DeadlockPolicy::WoundWait);
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        // Younger requester: no wound, just a (timed-out) wait.
+        assert_eq!(
+            lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive),
+            Err(LockError::Timeout)
+        );
+        assert!(!lm.is_wounded(txn(1)));
+        assert_eq!(lm.stats().wounds(), 0);
+    }
+
+    #[test]
+    fn wounded_transaction_is_rejected_on_next_acquire() {
+        let lm = Arc::new(manager(DeadlockPolicy::WoundWait));
+        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let older = thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(20));
+        // The wounded transaction tries to lock something else: rejected.
+        assert_eq!(
+            lm.acquire(txn(2), ts(5), &item("y"), LockMode::Shared),
+            Err(LockError::Wounded)
+        );
+        lm.release_all(txn(2));
+        assert_eq!(older.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn release_all_clears_bookkeeping() {
+        let lm = manager(DeadlockPolicy::WaitForGraph);
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(1), ts(1), &item("y"), LockMode::Shared).unwrap();
+        assert_eq!(lm.held_by(txn(1)).len(), 2);
+        lm.release_all(txn(1));
+        assert!(lm.held_by(txn(1)).is_empty());
+        assert_eq!(lm.active_transactions(), 0);
+        // Releasing again is harmless.
+        lm.release_all(txn(1));
+    }
+
+    #[test]
+    fn three_way_deadlock_is_broken() {
+        let lm = Arc::new(LockManager::new(
+            DeadlockPolicy::WaitForGraph,
+            Duration::from_millis(800),
+        ));
+        lm.acquire(txn(1), ts(1), &item("a"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(2), ts(2), &item("b"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(3), ts(3), &item("c"), LockMode::Exclusive).unwrap();
+
+        let lm1 = Arc::clone(&lm);
+        let h1 = thread::spawn(move || lm1.acquire(txn(1), ts(1), &item("b"), LockMode::Exclusive));
+        let lm2 = Arc::clone(&lm);
+        let h2 = thread::spawn(move || lm2.acquire(txn(2), ts(2), &item("c"), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(50));
+        // Closing the cycle: T3 -> a (held by T1). T3 must be chosen as victim.
+        let r3 = lm.acquire(txn(3), ts(3), &item("a"), LockMode::Exclusive);
+        assert_eq!(r3, Err(LockError::Deadlock));
+        lm.release_all(txn(3));
+        // T2 can now proceed, then T1.
+        assert_eq!(h2.join().unwrap(), Ok(()));
+        lm.release_all(txn(2));
+        assert_eq!(h1.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn lock_mode_compatibility_matrix() {
+        assert!(LockMode::Shared.compatible(LockMode::Shared));
+        assert!(!LockMode::Shared.compatible(LockMode::Exclusive));
+        assert!(!LockMode::Exclusive.compatible(LockMode::Shared));
+        assert!(!LockMode::Exclusive.compatible(LockMode::Exclusive));
+    }
+}

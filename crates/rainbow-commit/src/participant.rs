@@ -1,0 +1,304 @@
+//! The commit participant state machine (copy-holder side).
+
+use crate::types::{Decision, Vote};
+use rainbow_common::protocol::AcpKind;
+use rainbow_common::{SiteId, TxnId};
+
+/// Phase of a participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantState {
+    /// Still executing operations; no prepare request seen yet.
+    Working,
+    /// Voted YES and is waiting for the decision (the 2PC *uncertainty
+    /// window*: the participant is blocked while in this state).
+    Prepared,
+    /// 3PC only: received PRE-COMMIT; the decision is guaranteed to be
+    /// commit.
+    PreCommitted,
+    /// Decision commit applied.
+    Committed,
+    /// Decision abort applied (or voted NO).
+    Aborted,
+}
+
+/// What the caller must do after feeding an event to the participant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticipantAction {
+    /// Send this vote back to the coordinator. A YES vote must only be sent
+    /// after the caller has force-logged a prepare record.
+    SendVote(Vote),
+    /// 3PC: acknowledge the PRE-COMMIT.
+    SendPreCommitAck,
+    /// Apply the decision locally (install or discard staged writes, release
+    /// CCP resources) and acknowledge it to the coordinator.
+    ApplyAndAck(Decision),
+    /// The participant is blocked waiting for the decision (2PC uncertainty
+    /// window after a timeout): it must run the termination protocol.
+    RunTermination,
+    /// Nothing to do.
+    Wait,
+}
+
+/// The participant state machine for one transaction at one site.
+#[derive(Debug)]
+pub struct Participant {
+    txn: TxnId,
+    coordinator: SiteId,
+    protocol: AcpKind,
+    state: ParticipantState,
+}
+
+impl Participant {
+    /// Creates a participant for `txn` whose coordinator lives at
+    /// `coordinator`.
+    pub fn new(txn: TxnId, coordinator: SiteId, protocol: AcpKind) -> Self {
+        Participant {
+            txn,
+            coordinator,
+            protocol,
+            state: ParticipantState::Working,
+        }
+    }
+
+    /// The transaction.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// The coordinator's site.
+    pub fn coordinator(&self) -> SiteId {
+        self.coordinator
+    }
+
+    /// Current phase.
+    pub fn state(&self) -> ParticipantState {
+        self.state
+    }
+
+    /// True while the participant is in the 2PC uncertainty window.
+    pub fn is_blocked(&self) -> bool {
+        self.state == ParticipantState::Prepared
+    }
+
+    /// Handles the PREPARE / CAN-COMMIT request. `can_commit` is the local
+    /// verdict (CCP validation passed and the prepare record was forced).
+    pub fn on_prepare(&mut self, can_commit: bool) -> ParticipantAction {
+        if self.state != ParticipantState::Working {
+            // Duplicate prepare: re-send the vote implied by our state.
+            return match self.state {
+                ParticipantState::Prepared | ParticipantState::PreCommitted => {
+                    ParticipantAction::SendVote(Vote::Yes)
+                }
+                ParticipantState::Aborted => ParticipantAction::SendVote(Vote::No),
+                _ => ParticipantAction::Wait,
+            };
+        }
+        if can_commit {
+            self.state = ParticipantState::Prepared;
+            ParticipantAction::SendVote(Vote::Yes)
+        } else {
+            self.state = ParticipantState::Aborted;
+            ParticipantAction::SendVote(Vote::No)
+        }
+    }
+
+    /// Handles the 3PC PRE-COMMIT message.
+    pub fn on_precommit(&mut self) -> ParticipantAction {
+        match (self.protocol, self.state) {
+            (AcpKind::ThreePhaseCommit, ParticipantState::Prepared) => {
+                self.state = ParticipantState::PreCommitted;
+                ParticipantAction::SendPreCommitAck
+            }
+            // Duplicate pre-commit.
+            (AcpKind::ThreePhaseCommit, ParticipantState::PreCommitted) => {
+                ParticipantAction::SendPreCommitAck
+            }
+            _ => ParticipantAction::Wait,
+        }
+    }
+
+    /// Handles the coordinator's decision.
+    pub fn on_decision(&mut self, decision: Decision) -> ParticipantAction {
+        match self.state {
+            ParticipantState::Working
+            | ParticipantState::Prepared
+            | ParticipantState::PreCommitted => {
+                self.state = match decision {
+                    Decision::Commit => ParticipantState::Committed,
+                    Decision::Abort => ParticipantState::Aborted,
+                };
+                ParticipantAction::ApplyAndAck(decision)
+            }
+            // Already decided: re-ack idempotently (the coordinator may have
+            // retransmitted because our ack was lost).
+            ParticipantState::Committed => ParticipantAction::ApplyAndAck(Decision::Commit),
+            ParticipantState::Aborted => ParticipantAction::ApplyAndAck(Decision::Abort),
+        }
+    }
+
+    /// The participant timed out waiting for the coordinator.
+    ///
+    /// * Working: no prepare ever arrived — unilateral abort is safe;
+    /// * Prepared under 2PC: **blocked**; the caller must run the
+    ///   termination protocol (ask peers / wait for the coordinator);
+    /// * Prepared under 3PC: abort (no pre-commit was received, so no
+    ///   operational participant can have committed);
+    /// * PreCommitted under 3PC: commit (every operational participant is
+    ///   pre-committed, the decision can only be commit);
+    /// * already decided: nothing.
+    pub fn on_timeout(&mut self) -> ParticipantAction {
+        match (self.protocol, self.state) {
+            (_, ParticipantState::Working) => {
+                self.state = ParticipantState::Aborted;
+                ParticipantAction::ApplyAndAck(Decision::Abort)
+            }
+            (AcpKind::TwoPhaseCommit, ParticipantState::Prepared) => {
+                ParticipantAction::RunTermination
+            }
+            (AcpKind::ThreePhaseCommit, ParticipantState::Prepared) => {
+                self.state = ParticipantState::Aborted;
+                ParticipantAction::ApplyAndAck(Decision::Abort)
+            }
+            (AcpKind::ThreePhaseCommit, ParticipantState::PreCommitted) => {
+                self.state = ParticipantState::Committed;
+                ParticipantAction::ApplyAndAck(Decision::Commit)
+            }
+            _ => ParticipantAction::Wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::SiteId;
+
+    fn participant(protocol: AcpKind) -> Participant {
+        Participant::new(TxnId::new(SiteId(1), 7), SiteId(0), protocol)
+    }
+
+    #[test]
+    fn two_pc_commit_path() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        assert_eq!(p.state(), ParticipantState::Working);
+        assert_eq!(p.on_prepare(true), ParticipantAction::SendVote(Vote::Yes));
+        assert_eq!(p.state(), ParticipantState::Prepared);
+        assert!(p.is_blocked());
+        assert_eq!(
+            p.on_decision(Decision::Commit),
+            ParticipantAction::ApplyAndAck(Decision::Commit)
+        );
+        assert_eq!(p.state(), ParticipantState::Committed);
+        assert!(!p.is_blocked());
+    }
+
+    #[test]
+    fn vote_no_goes_straight_to_aborted() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        assert_eq!(p.on_prepare(false), ParticipantAction::SendVote(Vote::No));
+        assert_eq!(p.state(), ParticipantState::Aborted);
+        // The abort decision later is idempotent.
+        assert_eq!(
+            p.on_decision(Decision::Abort),
+            ParticipantAction::ApplyAndAck(Decision::Abort)
+        );
+    }
+
+    #[test]
+    fn duplicate_prepare_resends_the_same_vote() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        p.on_prepare(true);
+        assert_eq!(p.on_prepare(true), ParticipantAction::SendVote(Vote::Yes));
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        p.on_prepare(false);
+        assert_eq!(p.on_prepare(true), ParticipantAction::SendVote(Vote::No));
+    }
+
+    #[test]
+    fn duplicate_decision_reacks_idempotently() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        p.on_prepare(true);
+        p.on_decision(Decision::Commit);
+        assert_eq!(
+            p.on_decision(Decision::Commit),
+            ParticipantAction::ApplyAndAck(Decision::Commit)
+        );
+        assert_eq!(p.state(), ParticipantState::Committed);
+    }
+
+    #[test]
+    fn working_timeout_is_a_unilateral_abort() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        assert_eq!(
+            p.on_timeout(),
+            ParticipantAction::ApplyAndAck(Decision::Abort)
+        );
+        assert_eq!(p.state(), ParticipantState::Aborted);
+    }
+
+    #[test]
+    fn two_pc_prepared_timeout_blocks() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        p.on_prepare(true);
+        assert_eq!(p.on_timeout(), ParticipantAction::RunTermination);
+        // Still prepared, still blocked.
+        assert_eq!(p.state(), ParticipantState::Prepared);
+        assert!(p.is_blocked());
+    }
+
+    #[test]
+    fn three_pc_prepared_timeout_aborts() {
+        let mut p = participant(AcpKind::ThreePhaseCommit);
+        p.on_prepare(true);
+        assert_eq!(
+            p.on_timeout(),
+            ParticipantAction::ApplyAndAck(Decision::Abort)
+        );
+        assert_eq!(p.state(), ParticipantState::Aborted);
+    }
+
+    #[test]
+    fn three_pc_precommitted_timeout_commits() {
+        let mut p = participant(AcpKind::ThreePhaseCommit);
+        p.on_prepare(true);
+        assert_eq!(p.on_precommit(), ParticipantAction::SendPreCommitAck);
+        assert_eq!(p.state(), ParticipantState::PreCommitted);
+        assert_eq!(
+            p.on_timeout(),
+            ParticipantAction::ApplyAndAck(Decision::Commit)
+        );
+        assert_eq!(p.state(), ParticipantState::Committed);
+    }
+
+    #[test]
+    fn precommit_is_ignored_under_two_pc_and_when_not_prepared() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        p.on_prepare(true);
+        assert_eq!(p.on_precommit(), ParticipantAction::Wait);
+        let mut p = participant(AcpKind::ThreePhaseCommit);
+        assert_eq!(p.on_precommit(), ParticipantAction::Wait);
+    }
+
+    #[test]
+    fn duplicate_precommit_is_reacked() {
+        let mut p = participant(AcpKind::ThreePhaseCommit);
+        p.on_prepare(true);
+        p.on_precommit();
+        assert_eq!(p.on_precommit(), ParticipantAction::SendPreCommitAck);
+    }
+
+    #[test]
+    fn timeout_after_decision_is_a_no_op() {
+        let mut p = participant(AcpKind::TwoPhaseCommit);
+        p.on_prepare(true);
+        p.on_decision(Decision::Commit);
+        assert_eq!(p.on_timeout(), ParticipantAction::Wait);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = participant(AcpKind::TwoPhaseCommit);
+        assert_eq!(p.txn(), TxnId::new(SiteId(1), 7));
+        assert_eq!(p.coordinator(), SiteId(0));
+    }
+}

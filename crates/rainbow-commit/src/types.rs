@@ -1,0 +1,75 @@
+//! Shared vocabulary of the atomic commitment protocols.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A participant's vote in the voting phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vote {
+    /// The participant can commit (it has force-logged a prepare record).
+    Yes,
+    /// The participant cannot commit; the transaction must abort.
+    No,
+}
+
+impl Vote {
+    /// True for [`Vote::Yes`].
+    pub fn is_yes(self) -> bool {
+        matches!(self, Vote::Yes)
+    }
+}
+
+impl fmt::Display for Vote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vote::Yes => write!(f, "YES"),
+            Vote::No => write!(f, "NO"),
+        }
+    }
+}
+
+/// The coordinator's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// Commit everywhere.
+    Commit,
+    /// Abort everywhere.
+    Abort,
+}
+
+impl Decision {
+    /// True for [`Decision::Commit`].
+    pub fn is_commit(self) -> bool {
+        matches!(self, Decision::Commit)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Commit => write!(f, "COMMIT"),
+            Decision::Abort => write!(f, "ABORT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vote_predicates_and_display() {
+        assert!(Vote::Yes.is_yes());
+        assert!(!Vote::No.is_yes());
+        assert_eq!(Vote::Yes.to_string(), "YES");
+        assert_eq!(Vote::No.to_string(), "NO");
+    }
+
+    #[test]
+    fn decision_predicates_and_display() {
+        assert!(Decision::Commit.is_commit());
+        assert!(!Decision::Abort.is_commit());
+        assert_eq!(Decision::Commit.to_string(), "COMMIT");
+        assert_eq!(Decision::Abort.to_string(), "ABORT");
+    }
+}

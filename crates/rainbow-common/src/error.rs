@@ -1,0 +1,126 @@
+//! The crate-wide error type.
+
+use crate::ids::{ItemId, SiteId, TxnId};
+use crate::txn::AbortCause;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type RainbowResult<T> = Result<T, RainbowError>;
+
+/// Errors surfaced by the Rainbow crates.
+///
+/// Transaction aborts are *not* errors in the `Result` sense — they are a
+/// normal outcome reported through [`crate::txn::TxnOutcome`] — but lower
+/// layers use [`RainbowError::Abort`] internally to unwind a transaction
+/// with its cause attached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RainbowError {
+    /// A configuration (schema, placement, protocol, network) was invalid.
+    InvalidConfig(String),
+    /// A referenced site is unknown to the name server.
+    UnknownSite(SiteId),
+    /// A referenced item is not declared in the database schema.
+    UnknownItem(ItemId),
+    /// A referenced transaction is not active at this site.
+    UnknownTxn(TxnId),
+    /// The target site is down or unreachable (crashed or partitioned away).
+    SiteUnavailable(SiteId),
+    /// A communication send/receive failed (channel closed, simulator shut
+    /// down).
+    Network(String),
+    /// The operation timed out.
+    Timeout(String),
+    /// The transaction must abort for the given cause; the transaction
+    /// manager converts this into a [`crate::txn::TxnOutcome::Aborted`].
+    Abort(AbortCause),
+    /// The component is shutting down.
+    Shutdown,
+    /// Persistence (WAL / checkpoint) failure.
+    Storage(String),
+    /// Serialization / deserialization of configuration failed.
+    Serialization(String),
+    /// Catch-all internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl RainbowError {
+    /// Shorthand for an abort error.
+    pub fn abort(cause: AbortCause) -> Self {
+        RainbowError::Abort(cause)
+    }
+
+    /// Returns the abort cause when this error is an abort.
+    pub fn abort_cause(&self) -> Option<&AbortCause> {
+        match self {
+            RainbowError::Abort(cause) => Some(cause),
+            _ => None,
+        }
+    }
+
+    /// True when the error signals that the transaction should be retried
+    /// (workload generators restart transactions aborted by concurrency
+    /// control, but not those failed by configuration errors).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RainbowError::Abort(_) | RainbowError::Timeout(_) | RainbowError::SiteUnavailable(_)
+        )
+    }
+}
+
+impl fmt::Display for RainbowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RainbowError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RainbowError::UnknownSite(site) => write!(f, "unknown site {site}"),
+            RainbowError::UnknownItem(item) => write!(f, "unknown item {item}"),
+            RainbowError::UnknownTxn(txn) => write!(f, "unknown transaction {txn}"),
+            RainbowError::SiteUnavailable(site) => write!(f, "site {site} unavailable"),
+            RainbowError::Network(msg) => write!(f, "network error: {msg}"),
+            RainbowError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            RainbowError::Abort(cause) => write!(f, "transaction aborted: {cause}"),
+            RainbowError::Shutdown => write!(f, "component is shutting down"),
+            RainbowError::Storage(msg) => write!(f, "storage error: {msg}"),
+            RainbowError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            RainbowError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RainbowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ItemId;
+
+    #[test]
+    fn abort_helpers() {
+        let err = RainbowError::abort(AbortCause::UserAbort);
+        assert_eq!(err.abort_cause(), Some(&AbortCause::UserAbort));
+        assert!(err.is_retryable());
+        assert!(RainbowError::Timeout("t".into()).is_retryable());
+        assert!(RainbowError::SiteUnavailable(SiteId(0)).is_retryable());
+        assert!(!RainbowError::InvalidConfig("x".into()).is_retryable());
+        assert!(RainbowError::InvalidConfig("x".into()).abort_cause().is_none());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = RainbowError::UnknownItem(ItemId::new("balance"));
+        assert!(err.to_string().contains("balance"));
+        let err = RainbowError::UnknownSite(SiteId(4));
+        assert!(err.to_string().contains("site4"));
+        let err = RainbowError::Abort(AbortCause::UserAbort);
+        assert!(err.to_string().contains("aborted"));
+        let err = RainbowError::Shutdown;
+        assert!(err.to_string().contains("shutting down"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_error(_e: &dyn std::error::Error) {}
+        takes_error(&RainbowError::Internal("boom".into()));
+    }
+}

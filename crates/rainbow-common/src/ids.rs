@@ -1,0 +1,289 @@
+//! Strongly-typed identifiers used throughout the Rainbow system.
+//!
+//! The paper's name server stores "metadata of all Rainbow sites, such as the
+//! id and end point specifications". We model those ids (and the ids of every
+//! other entity that flows between sites) as dedicated newtypes so that the
+//! compiler rejects accidental mix-ups such as passing a transaction id where
+//! a site id is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical (simulated) host in the Rainbow host domain.
+///
+/// In the paper a host is a machine running the "ServletRunner"; several
+/// Rainbow sites and/or the name server may live on one host (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Identifier of a Rainbow site (a node of the distributed database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+/// Identifier of a logical database item (the unit of fragmentation,
+/// replication and distribution in the name-server schema).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub String);
+
+/// Identifier of one physical copy of an item: the item plus the site that
+/// stores the copy.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CopyId {
+    /// The logical item this copy replicates.
+    pub item: ItemId,
+    /// The site holding the copy.
+    pub site: SiteId,
+}
+
+/// Globally unique transaction identifier.
+///
+/// A transaction id is minted by its *home site* (the site it arrives at) and
+/// combines that site id with a locally increasing sequence number, mirroring
+/// how Rainbow sites each "concurrently process multiple transactions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId {
+    /// Site at which the transaction was submitted.
+    pub home: SiteId,
+    /// Per-home-site sequence number.
+    pub seq: u64,
+}
+
+/// Identifier of a message exchanged through the network simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+/// A logical timestamp: `(counter, site)` pairs ordered lexicographically.
+///
+/// Timestamps are site-unique (ties on the counter are broken by the site id)
+/// which is exactly what basic and multi-version timestamp ordering require.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp {
+    /// Monotonic counter component (Lamport time at the issuing site).
+    pub counter: u64,
+    /// Issuing site, used as a tie breaker so no two sites issue equal
+    /// timestamps.
+    pub site: u32,
+}
+
+/// Version number of a replicated copy, as used by quorum consensus: reads
+/// return the value of the highest-versioned copy in the read quorum, writes
+/// install `max(version in write quorum) + 1`.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl HostId {
+    /// Numeric value of the id.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl SiteId {
+    /// Numeric value of the id.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl ItemId {
+    /// Creates an item id from anything string-like.
+    pub fn new(name: impl Into<String>) -> Self {
+        ItemId(name.into())
+    }
+
+    /// Borrowed name of the item.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl CopyId {
+    /// Creates a copy id.
+    pub fn new(item: ItemId, site: SiteId) -> Self {
+        CopyId { item, site }
+    }
+}
+
+impl TxnId {
+    /// Creates a transaction id.
+    pub fn new(home: SiteId, seq: u64) -> Self {
+        TxnId { home, seq }
+    }
+}
+
+impl Timestamp {
+    /// The zero timestamp, smaller than every timestamp a site can issue.
+    pub const ZERO: Timestamp = Timestamp { counter: 0, site: 0 };
+
+    /// Creates a timestamp.
+    pub fn new(counter: u64, site: u32) -> Self {
+        Timestamp { counter, site }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Version {
+    /// The initial version of a freshly created copy.
+    pub const INITIAL: Version = Version(0);
+
+    /// The version that follows this one.
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for CopyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.item, self.site)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}", self.home.0, self.seq)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.counter, self.site)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<&str> for ItemId {
+    fn from(s: &str) -> Self {
+        ItemId::new(s)
+    }
+}
+
+impl From<String> for ItemId {
+    fn from(s: String) -> Self {
+        ItemId::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_is_lexicographic() {
+        let a = Timestamp::new(1, 5);
+        let b = Timestamp::new(2, 0);
+        let c = Timestamp::new(2, 1);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+        assert_eq!(b.max(c), c);
+        assert_eq!(c.max(b), c);
+    }
+
+    #[test]
+    fn timestamps_from_distinct_sites_never_compare_equal_unless_identical() {
+        let a = Timestamp::new(7, 1);
+        let b = Timestamp::new(7, 2);
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn zero_timestamp_is_minimal() {
+        assert!(Timestamp::ZERO <= Timestamp::new(0, 0));
+        assert!(Timestamp::ZERO < Timestamp::new(0, 1));
+        assert!(Timestamp::ZERO < Timestamp::new(1, 0));
+    }
+
+    #[test]
+    fn version_next_increments() {
+        assert_eq!(Version::INITIAL.next(), Version(1));
+        assert_eq!(Version(41).next(), Version(42));
+        assert!(Version(41) < Version(42));
+    }
+
+    #[test]
+    fn txn_id_orders_by_home_then_sequence() {
+        let a = TxnId::new(SiteId(0), 10);
+        let b = TxnId::new(SiteId(0), 11);
+        let c = TxnId::new(SiteId(1), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn item_id_round_trips_through_strings() {
+        let id: ItemId = "accounts.balance[7]".into();
+        assert_eq!(id.name(), "accounts.balance[7]");
+        assert_eq!(format!("{id}"), "accounts.balance[7]");
+    }
+
+    #[test]
+    fn copy_id_display_includes_site() {
+        let c = CopyId::new(ItemId::new("x"), SiteId(3));
+        assert_eq!(format!("{c}"), "x@site3");
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(format!("{}", HostId(2)), "host2");
+        assert_eq!(format!("{}", SiteId(4)), "site4");
+        assert_eq!(format!("{}", TxnId::new(SiteId(4), 9)), "T4.9");
+        assert_eq!(format!("{}", MessageId(77)), "m77");
+        assert_eq!(format!("{}", Timestamp::new(3, 1)), "3:1");
+        assert_eq!(format!("{}", Version(5)), "v5");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = TxnId::new(SiteId(2), 99);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TxnId = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+
+        let ts = Timestamp::new(8, 3);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: Timestamp = serde_json::from_str(&json).unwrap();
+        assert_eq!(ts, back);
+    }
+}

@@ -1,0 +1,186 @@
+//! Transaction operations.
+//!
+//! A Rainbow transaction is a sequence of read and write operations on
+//! logical database items (Section 2.1 of the paper: "QC starts by building
+//! a quorum (read or write) for the first operation of the transaction ...
+//! When a quorum is built for an operation, the next operation is
+//! considered").
+
+use crate::ids::ItemId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of an operation, without its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperationKind {
+    /// A read of a logical item.
+    Read,
+    /// A blind write of a logical item.
+    Write,
+    /// A read-modify-write (increment) of an integer item. The workload
+    /// generator uses this for debit/credit style transactions; at the
+    /// protocol level it behaves as a read followed by a write of the same
+    /// item.
+    Increment,
+}
+
+impl OperationKind {
+    /// Whether the operation needs a write quorum / exclusive lock.
+    pub fn is_update(self) -> bool {
+        matches!(self, OperationKind::Write | OperationKind::Increment)
+    }
+
+    /// Whether the operation observes the current value of the item.
+    pub fn is_read(self) -> bool {
+        matches!(self, OperationKind::Read | OperationKind::Increment)
+    }
+}
+
+/// One operation of a transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Read the current value of `item`.
+    Read {
+        /// Target logical item.
+        item: ItemId,
+    },
+    /// Write `value` into `item`.
+    Write {
+        /// Target logical item.
+        item: ItemId,
+        /// New value.
+        value: Value,
+    },
+    /// Add `delta` to the integer value of `item` (read-modify-write).
+    Increment {
+        /// Target logical item.
+        item: ItemId,
+        /// Signed amount to add.
+        delta: i64,
+    },
+}
+
+impl Operation {
+    /// Convenience constructor for a read.
+    pub fn read(item: impl Into<ItemId>) -> Self {
+        Operation::Read { item: item.into() }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(item: impl Into<ItemId>, value: impl Into<Value>) -> Self {
+        Operation::Write {
+            item: item.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for an increment.
+    pub fn increment(item: impl Into<ItemId>, delta: i64) -> Self {
+        Operation::Increment {
+            item: item.into(),
+            delta,
+        }
+    }
+
+    /// The logical item this operation touches.
+    pub fn item(&self) -> &ItemId {
+        match self {
+            Operation::Read { item } => item,
+            Operation::Write { item, .. } => item,
+            Operation::Increment { item, .. } => item,
+        }
+    }
+
+    /// The kind of the operation.
+    pub fn kind(&self) -> OperationKind {
+        match self {
+            Operation::Read { .. } => OperationKind::Read,
+            Operation::Write { .. } => OperationKind::Write,
+            Operation::Increment { .. } => OperationKind::Increment,
+        }
+    }
+
+    /// Whether the operation updates the item (needs a write quorum and an
+    /// exclusive lock).
+    pub fn is_update(&self) -> bool {
+        self.kind().is_update()
+    }
+
+    /// Whether the operation needs to observe the current value.
+    pub fn is_read(&self) -> bool {
+        self.kind().is_read()
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Read { item } => write!(f, "r({item})"),
+            Operation::Write { item, value } => write!(f, "w({item}={value})"),
+            Operation::Increment { item, delta } => write!(f, "inc({item},{delta:+})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_variants() {
+        let r = Operation::read("x");
+        let w = Operation::write("y", 7i64);
+        let i = Operation::increment("z", -2);
+        assert_eq!(r.kind(), OperationKind::Read);
+        assert_eq!(w.kind(), OperationKind::Write);
+        assert_eq!(i.kind(), OperationKind::Increment);
+        assert_eq!(r.item().name(), "x");
+        assert_eq!(w.item().name(), "y");
+        assert_eq!(i.item().name(), "z");
+    }
+
+    #[test]
+    fn update_and_read_classification() {
+        assert!(!Operation::read("x").is_update());
+        assert!(Operation::read("x").is_read());
+        assert!(Operation::write("x", 1i64).is_update());
+        assert!(!Operation::write("x", 1i64).is_read());
+        assert!(Operation::increment("x", 1).is_update());
+        assert!(Operation::increment("x", 1).is_read());
+    }
+
+    #[test]
+    fn kind_classification_matches_operation_classification() {
+        for kind in [
+            OperationKind::Read,
+            OperationKind::Write,
+            OperationKind::Increment,
+        ] {
+            // Increment is both a read and an update; Read only a read; Write
+            // only an update.
+            match kind {
+                OperationKind::Read => {
+                    assert!(kind.is_read());
+                    assert!(!kind.is_update());
+                }
+                OperationKind::Write => {
+                    assert!(!kind.is_read());
+                    assert!(kind.is_update());
+                }
+                OperationKind::Increment => {
+                    assert!(kind.is_read());
+                    assert!(kind.is_update());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_textbook_notation() {
+        assert_eq!(Operation::read("x").to_string(), "r(x)");
+        assert_eq!(Operation::write("x", 3i64).to_string(), "w(x=3)");
+        assert_eq!(Operation::increment("x", 5).to_string(), "inc(x,+5)");
+        assert_eq!(Operation::increment("x", -5).to_string(), "inc(x,-5)");
+    }
+}

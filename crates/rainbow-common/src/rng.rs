@@ -1,0 +1,291 @@
+//! Deterministic randomness helpers shared by the workload generator and the
+//! network simulator.
+//!
+//! Experiments must be repeatable ("configuration data can be saved for reuse
+//! in another session"), so every random choice in the workspace flows
+//! through a seedable RNG. This module wraps `rand` with the distributions
+//! the experiments need: uniform item selection, Zipf-skewed selection and
+//! the classic "hot spot" (x% of accesses to y% of the items) model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Creates a seeded RNG. All Rainbow components accept a seed and derive
+/// their RNGs through this function so that an experiment is reproducible
+/// end-to-end.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a sub-seed for a named component from a master seed, so that two
+/// components seeded from the same master seed do not consume the same
+/// stream.
+pub fn derive_seed(master: u64, component: &str) -> u64 {
+    // FNV-1a over the component name, mixed with the master seed.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in component.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^ master.rotate_left(17)
+}
+
+/// How the workload generator picks the items a transaction accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessDistribution {
+    /// Every item equally likely.
+    Uniform,
+    /// Zipf-distributed ranks with the given exponent (`theta` ≈ 0.8–1.2 are
+    /// common contention settings).
+    Zipf {
+        /// Skew exponent; 0 degenerates to uniform.
+        theta: f64,
+    },
+    /// A fraction `access_fraction` of accesses goes to the first
+    /// `item_fraction` of the items (e.g. the classic 80/20 hot spot).
+    HotSpot {
+        /// Fraction of accesses that target the hot set (0..=1).
+        access_fraction: f64,
+        /// Fraction of items forming the hot set (0..=1, > 0).
+        item_fraction: f64,
+    },
+}
+
+impl Default for AccessDistribution {
+    fn default() -> Self {
+        AccessDistribution::Uniform
+    }
+}
+
+/// A sampler over `0..n` item indices following an [`AccessDistribution`].
+#[derive(Debug, Clone)]
+pub struct ItemSampler {
+    n: usize,
+    distribution: AccessDistribution,
+    /// Cumulative probabilities for the Zipf case (empty otherwise).
+    zipf_cdf: Vec<f64>,
+}
+
+impl ItemSampler {
+    /// Creates a sampler over `n` items (`n` must be at least 1).
+    pub fn new(n: usize, distribution: AccessDistribution) -> Self {
+        assert!(n > 0, "ItemSampler needs at least one item");
+        let zipf_cdf = match distribution {
+            AccessDistribution::Zipf { theta } => {
+                let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = 0.0;
+                for w in weights {
+                    acc += w / total;
+                    cdf.push(acc);
+                }
+                if let Some(last) = cdf.last_mut() {
+                    *last = 1.0;
+                }
+                cdf
+            }
+            _ => Vec::new(),
+        };
+        ItemSampler {
+            n,
+            distribution,
+            zipf_cdf,
+        }
+    }
+
+    /// Number of items the sampler draws from.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: a sampler cannot be built over zero items.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one item index in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        match self.distribution {
+            AccessDistribution::Uniform => rng.gen_range(0..self.n),
+            AccessDistribution::Zipf { .. } => {
+                let u: f64 = rng.gen();
+                match self
+                    .zipf_cdf
+                    .binary_search_by(|p| p.partial_cmp(&u).unwrap())
+                {
+                    Ok(idx) => idx.min(self.n - 1),
+                    Err(idx) => idx.min(self.n - 1),
+                }
+            }
+            AccessDistribution::HotSpot {
+                access_fraction,
+                item_fraction,
+            } => {
+                let hot_items = ((self.n as f64) * item_fraction).ceil().max(1.0) as usize;
+                let hot_items = hot_items.min(self.n);
+                if rng.gen::<f64>() < access_fraction {
+                    rng.gen_range(0..hot_items)
+                } else if hot_items < self.n {
+                    rng.gen_range(hot_items..self.n)
+                } else {
+                    rng.gen_range(0..self.n)
+                }
+            }
+        }
+    }
+
+    /// Draws `count` distinct item indices (or all of them when `count >= n`).
+    pub fn sample_distinct(&self, rng: &mut impl Rng, count: usize) -> Vec<usize> {
+        let count = count.min(self.n);
+        let mut chosen = Vec::with_capacity(count);
+        let mut guard = 0usize;
+        while chosen.len() < count {
+            let candidate = self.sample(rng);
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+            guard += 1;
+            // Fall back to a deterministic sweep if the distribution is so
+            // skewed that rejection sampling stalls.
+            if guard > count * 64 {
+                for idx in 0..self.n {
+                    if chosen.len() >= count {
+                        break;
+                    }
+                    if !chosen.contains(&idx) {
+                        chosen.push(idx);
+                    }
+                }
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_differs_by_component_and_master() {
+        let a = derive_seed(1, "wlg");
+        let b = derive_seed(1, "net");
+        let c = derive_seed(2, "wlg");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(1, "wlg"));
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let xs: Vec<u32> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_sampler_covers_the_range() {
+        let sampler = ItemSampler::new(10, AccessDistribution::Uniform);
+        let mut rng = seeded_rng(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let idx = sampler.sample(&mut rng);
+            assert!(idx < 10);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampling missed an item");
+        assert_eq!(sampler.len(), 10);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let sampler = ItemSampler::new(100, AccessDistribution::Zipf { theta: 1.0 });
+        let mut rng = seeded_rng(11);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[90..].iter().sum();
+        assert!(
+            head > tail * 5,
+            "zipf head ({head}) should dominate tail ({tail})"
+        );
+    }
+
+    #[test]
+    fn zipf_with_zero_theta_is_roughly_uniform() {
+        let sampler = ItemSampler::new(10, AccessDistribution::Zipf { theta: 0.0 });
+        let mut rng = seeded_rng(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "theta=0 should be close to uniform");
+    }
+
+    #[test]
+    fn hotspot_sampler_concentrates_accesses() {
+        let sampler = ItemSampler::new(100, AccessDistribution::HotSpot {
+            access_fraction: 0.8,
+            item_fraction: 0.2,
+        });
+        let mut rng = seeded_rng(5);
+        let mut hot = 0u32;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if sampler.sample(&mut rng) < 20 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / trials as f64;
+        assert!((frac - 0.8).abs() < 0.05, "hot fraction was {frac}");
+    }
+
+    #[test]
+    fn hotspot_with_full_item_fraction_is_uniform_over_all() {
+        let sampler = ItemSampler::new(10, AccessDistribution::HotSpot {
+            access_fraction: 0.5,
+            item_fraction: 1.0,
+        });
+        let mut rng = seeded_rng(9);
+        for _ in 0..100 {
+            assert!(sampler.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_indices() {
+        let sampler = ItemSampler::new(20, AccessDistribution::Zipf { theta: 1.2 });
+        let mut rng = seeded_rng(13);
+        for _ in 0..50 {
+            let picks = sampler.sample_distinct(&mut rng, 8);
+            assert_eq!(picks.len(), 8);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_population() {
+        let sampler = ItemSampler::new(5, AccessDistribution::Uniform);
+        let mut rng = seeded_rng(1);
+        let picks = sampler.sample_distinct(&mut rng, 50);
+        assert_eq!(picks.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn sampler_rejects_empty_population() {
+        let _ = ItemSampler::new(0, AccessDistribution::Uniform);
+    }
+}

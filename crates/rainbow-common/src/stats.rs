@@ -1,0 +1,479 @@
+//! Statistics types: the "extensible set of output statistics" of Section 3.
+//!
+//! The paper lists, among others: number of committed transactions, number of
+//! aborted transactions (and rate) due to RCP, ACP and CCP, transaction
+//! commit rate, abort rates per abort type, total number of messages
+//! generated per time unit, transaction throughput and response time, number
+//! of orphan transactions, round-trip messages and load balance/imbalance
+//! indicators. The collectors here are deliberately simple and lock-free
+//! where possible so they can be embedded in every layer.
+
+use crate::txn::AbortLayer;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Latency distribution summary (response times, commit latencies, ...).
+///
+/// Samples are recorded in microseconds; the summary exposes count, mean,
+/// min, max and selected percentiles computed from the retained samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Minimum latency in microseconds.
+    pub min_us: u64,
+    /// Maximum latency in microseconds.
+    pub max_us: u64,
+    /// Median (50th percentile) in microseconds.
+    pub p50_us: u64,
+    /// 95th percentile in microseconds.
+    pub p95_us: u64,
+    /// 99th percentile in microseconds.
+    pub p99_us: u64,
+}
+
+impl LatencyStats {
+    /// Builds a summary from raw duration samples.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut micros: Vec<u64> = samples
+            .iter()
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .collect();
+        micros.sort_unstable();
+        let count = micros.len() as u64;
+        let sum: u128 = micros.iter().map(|&v| v as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((micros.len() as f64 - 1.0) * p).round() as usize;
+            micros[idx.min(micros.len() - 1)]
+        };
+        LatencyStats {
+            count,
+            mean_us: sum as f64 / count as f64,
+            min_us: micros[0],
+            max_us: *micros.last().unwrap(),
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+        }
+    }
+
+    /// Mean latency as a [`Duration`].
+    pub fn mean(&self) -> Duration {
+        Duration::from_micros(self.mean_us as u64)
+    }
+}
+
+/// Abort counts broken down by responsible protocol layer and by detailed
+/// cause label.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbortBreakdown {
+    /// Aborts attributed to each layer.
+    pub by_layer: BTreeMap<AbortLayer, u64>,
+    /// Aborts per human-readable cause label (e.g. "CCP: deadlock victim").
+    pub by_cause: BTreeMap<String, u64>,
+}
+
+impl AbortBreakdown {
+    /// Records one abort.
+    pub fn record(&mut self, layer: AbortLayer, cause_label: impl Into<String>) {
+        *self.by_layer.entry(layer).or_insert(0) += 1;
+        *self.by_cause.entry(cause_label.into()).or_insert(0) += 1;
+    }
+
+    /// Total number of aborts recorded.
+    pub fn total(&self) -> u64 {
+        self.by_layer.values().sum()
+    }
+
+    /// Aborts attributed to `layer`.
+    pub fn layer(&self, layer: AbortLayer) -> u64 {
+        self.by_layer.get(&layer).copied().unwrap_or(0)
+    }
+
+    /// Merges another breakdown into this one (used when aggregating per-site
+    /// statistics into the global progress-monitor view).
+    pub fn merge(&mut self, other: &AbortBreakdown) {
+        for (layer, count) in &other.by_layer {
+            *self.by_layer.entry(*layer).or_insert(0) += count;
+        }
+        for (cause, count) in &other.by_cause {
+            *self.by_cause.entry(cause.clone()).or_insert(0) += count;
+        }
+    }
+}
+
+/// Message traffic counters, per message kind and in total.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Total messages sent.
+    pub sent: u64,
+    /// Total messages delivered.
+    pub delivered: u64,
+    /// Messages dropped by the network simulator (loss, partition, crash).
+    pub dropped: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Messages per kind label (e.g. "QC_READ_REQ", "2PC_PREPARE").
+    pub by_kind: BTreeMap<String, u64>,
+    /// Request/response round trips completed.
+    pub round_trips: u64,
+}
+
+impl MessageStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &MessageStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.bytes += other.bytes;
+        self.round_trips += other.round_trips;
+        for (kind, count) in &other.by_kind {
+            *self.by_kind.entry(kind.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Count for one message kind.
+    pub fn kind(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// Per-site share of the work, used for the paper's "load balance/imbalance
+/// indicators".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadBalance {
+    /// Transactions whose home was each site.
+    pub home_transactions: BTreeMap<u32, u64>,
+    /// Remote copy-access requests served by each site.
+    pub served_requests: BTreeMap<u32, u64>,
+}
+
+impl LoadBalance {
+    /// Coefficient of variation (stddev / mean) of the per-site served
+    /// request counts: 0 means perfectly balanced, larger means more
+    /// imbalanced. Returns 0 when fewer than two sites are present.
+    pub fn imbalance(&self) -> f64 {
+        let counts: Vec<f64> = self.served_requests.values().map(|&v| v as f64).collect();
+        if counts.len() < 2 {
+            return 0.0;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// A full snapshot of the statistics panel (Figure 5 of the paper): what the
+/// progress monitor hands to the GUI / Session at any point in time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Transactions submitted to the system.
+    pub submitted: u64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions (all causes).
+    pub aborted: u64,
+    /// Orphan transactions (no decision reached because of failures).
+    pub orphans: u64,
+    /// Transactions restarted at least once before their final outcome.
+    pub restarted: u64,
+    /// Abort breakdown by layer and cause.
+    pub aborts: AbortBreakdown,
+    /// Message traffic counters.
+    pub messages: MessageStats,
+    /// Response-time distribution of finished transactions.
+    pub response_time: LatencyStats,
+    /// Wall-clock measurement window in seconds.
+    pub elapsed_secs: f64,
+    /// Load balance indicators.
+    pub load: LoadBalance,
+}
+
+impl StatsSnapshot {
+    /// Fraction of finished transactions that committed (`0.0` when nothing
+    /// finished). This is the paper's "transaction commit rate".
+    pub fn commit_rate(&self) -> f64 {
+        let finished = self.committed + self.aborted;
+        if finished == 0 {
+            0.0
+        } else {
+            self.committed as f64 / finished as f64
+        }
+    }
+
+    /// Fraction of finished transactions that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let finished = self.committed + self.aborted;
+        if finished == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / finished as f64
+        }
+    }
+
+    /// Abort rate attributed to one protocol layer.
+    pub fn abort_rate_for(&self, layer: AbortLayer) -> f64 {
+        let finished = self.committed + self.aborted;
+        if finished == 0 {
+            0.0
+        } else {
+            self.aborts.layer(layer) as f64 / finished as f64
+        }
+    }
+
+    /// Committed transactions per second over the measurement window.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Messages per second over the measurement window ("total number of
+    /// messages generated per time unit").
+    pub fn messages_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.messages.sent as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Messages sent per finished transaction; the key metric of the quorum
+    /// message-traffic experiment (ref [3] of the paper).
+    pub fn messages_per_txn(&self) -> f64 {
+        let finished = self.committed + self.aborted;
+        if finished == 0 {
+            0.0
+        } else {
+            self.messages.sent as f64 / finished as f64
+        }
+    }
+
+    /// Merges another snapshot into this one (latency distributions are
+    /// merged approximately by weighting their means; detailed percentiles
+    /// are kept from the larger sample).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.submitted += other.submitted;
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.orphans += other.orphans;
+        self.restarted += other.restarted;
+        self.aborts.merge(&other.aborts);
+        self.messages.merge(&other.messages);
+        self.elapsed_secs = self.elapsed_secs.max(other.elapsed_secs);
+        // Latency merge: weighted mean, envelope min/max, percentiles from the
+        // larger population.
+        let total = self.response_time.count + other.response_time.count;
+        if total > 0 {
+            let weighted_mean = (self.response_time.mean_us * self.response_time.count as f64
+                + other.response_time.mean_us * other.response_time.count as f64)
+                / total as f64;
+            let larger = if other.response_time.count > self.response_time.count {
+                other.response_time.clone()
+            } else {
+                self.response_time.clone()
+            };
+            self.response_time = LatencyStats {
+                count: total,
+                mean_us: weighted_mean,
+                min_us: if self.response_time.count == 0 {
+                    other.response_time.min_us
+                } else if other.response_time.count == 0 {
+                    self.response_time.min_us
+                } else {
+                    self.response_time.min_us.min(other.response_time.min_us)
+                },
+                max_us: self.response_time.max_us.max(other.response_time.max_us),
+                p50_us: larger.p50_us,
+                p95_us: larger.p95_us,
+                p99_us: larger.p99_us,
+            };
+        }
+        for (site, count) in &other.load.home_transactions {
+            *self.load.home_transactions.entry(*site).or_insert(0) += count;
+        }
+        for (site, count) in &other.load.served_requests {
+            *self.load.served_requests.entry(*site).or_insert(0) += count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn latency_stats_from_empty_samples_is_default() {
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn latency_stats_summary_values() {
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.min_us, 1_000);
+        assert_eq!(stats.max_us, 100_000);
+        assert!((stats.mean_us - 50_500.0).abs() < 1.0);
+        assert!(stats.p50_us >= 49_000 && stats.p50_us <= 52_000);
+        assert!(stats.p95_us >= 94_000 && stats.p95_us <= 97_000);
+        assert!(stats.p99_us >= 98_000);
+        assert_eq!(stats.mean().as_micros() as f64, stats.mean_us.trunc());
+    }
+
+    #[test]
+    fn latency_stats_single_sample() {
+        let stats = LatencyStats::from_samples(&[ms(7)]);
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.min_us, 7_000);
+        assert_eq!(stats.max_us, 7_000);
+        assert_eq!(stats.p99_us, 7_000);
+    }
+
+    #[test]
+    fn abort_breakdown_records_and_merges() {
+        let mut a = AbortBreakdown::default();
+        a.record(AbortLayer::Ccp, "deadlock");
+        a.record(AbortLayer::Ccp, "deadlock");
+        a.record(AbortLayer::Rcp, "quorum");
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.layer(AbortLayer::Ccp), 2);
+        assert_eq!(a.layer(AbortLayer::Acp), 0);
+
+        let mut b = AbortBreakdown::default();
+        b.record(AbortLayer::Acp, "timeout");
+        b.record(AbortLayer::Ccp, "conflict");
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.layer(AbortLayer::Ccp), 3);
+        assert_eq!(a.by_cause.get("deadlock"), Some(&2));
+    }
+
+    #[test]
+    fn message_stats_merge_and_kind_lookup() {
+        let mut a = MessageStats::default();
+        a.sent = 10;
+        a.delivered = 9;
+        a.dropped = 1;
+        a.bytes = 512;
+        a.round_trips = 4;
+        a.by_kind.insert("2PC_PREPARE".into(), 3);
+
+        let mut b = MessageStats::default();
+        b.sent = 5;
+        b.by_kind.insert("2PC_PREPARE".into(), 2);
+        b.by_kind.insert("QC_READ".into(), 5);
+
+        a.merge(&b);
+        assert_eq!(a.sent, 15);
+        assert_eq!(a.kind("2PC_PREPARE"), 5);
+        assert_eq!(a.kind("QC_READ"), 5);
+        assert_eq!(a.kind("missing"), 0);
+    }
+
+    #[test]
+    fn load_imbalance_zero_for_balanced_and_degenerate_cases() {
+        let mut lb = LoadBalance::default();
+        assert_eq!(lb.imbalance(), 0.0);
+        lb.served_requests.insert(0, 100);
+        assert_eq!(lb.imbalance(), 0.0); // single site
+        lb.served_requests.insert(1, 100);
+        lb.served_requests.insert(2, 100);
+        assert!(lb.imbalance().abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_imbalance_positive_when_skewed() {
+        let mut lb = LoadBalance::default();
+        lb.served_requests.insert(0, 1000);
+        lb.served_requests.insert(1, 10);
+        lb.served_requests.insert(2, 10);
+        assert!(lb.imbalance() > 0.5);
+    }
+
+    #[test]
+    fn snapshot_rates() {
+        let mut snap = StatsSnapshot::default();
+        assert_eq!(snap.commit_rate(), 0.0);
+        assert_eq!(snap.throughput(), 0.0);
+        assert_eq!(snap.messages_per_txn(), 0.0);
+
+        snap.submitted = 10;
+        snap.committed = 8;
+        snap.aborted = 2;
+        snap.aborts.record(AbortLayer::Ccp, "deadlock");
+        snap.aborts.record(AbortLayer::Rcp, "quorum");
+        snap.messages.sent = 100;
+        snap.elapsed_secs = 4.0;
+
+        assert!((snap.commit_rate() - 0.8).abs() < 1e-9);
+        assert!((snap.abort_rate() - 0.2).abs() < 1e-9);
+        assert!((snap.abort_rate_for(AbortLayer::Ccp) - 0.1).abs() < 1e-9);
+        assert!((snap.throughput() - 2.0).abs() < 1e-9);
+        assert!((snap.messages_per_sec() - 25.0).abs() < 1e-9);
+        assert!((snap.messages_per_txn() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let mut a = StatsSnapshot {
+            submitted: 5,
+            committed: 4,
+            aborted: 1,
+            elapsed_secs: 2.0,
+            response_time: LatencyStats::from_samples(&[ms(10), ms(20)]),
+            ..Default::default()
+        };
+        a.load.home_transactions.insert(0, 5);
+        let mut b = StatsSnapshot {
+            submitted: 7,
+            committed: 6,
+            aborted: 1,
+            orphans: 1,
+            elapsed_secs: 3.0,
+            response_time: LatencyStats::from_samples(&[ms(30), ms(40), ms(50)]),
+            ..Default::default()
+        };
+        b.load.home_transactions.insert(0, 3);
+        b.load.home_transactions.insert(1, 4);
+
+        a.merge(&b);
+        assert_eq!(a.submitted, 12);
+        assert_eq!(a.committed, 10);
+        assert_eq!(a.aborted, 2);
+        assert_eq!(a.orphans, 1);
+        assert_eq!(a.elapsed_secs, 3.0);
+        assert_eq!(a.response_time.count, 5);
+        assert_eq!(a.load.home_transactions.get(&0), Some(&8));
+        assert_eq!(a.load.home_transactions.get(&1), Some(&4));
+        // Weighted mean of 15ms (n=2) and 40ms (n=3) = 30ms.
+        assert!((a.response_time.mean_us - 30_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshot_merge_with_empty_latency_keeps_other() {
+        let mut a = StatsSnapshot::default();
+        let b = StatsSnapshot {
+            response_time: LatencyStats::from_samples(&[ms(5)]),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.response_time.count, 1);
+        assert_eq!(a.response_time.min_us, 5_000);
+    }
+}

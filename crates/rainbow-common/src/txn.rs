@@ -1,0 +1,420 @@
+//! Transaction specifications, outcomes and abort classification.
+//!
+//! Section 3 of the paper lists, among the output statistics, the "number of
+//! aborted transactions (and rate) due to RCP, ACP, and CCP" — aborts are
+//! attributed to the protocol layer that caused them. [`AbortCause`]
+//! captures that classification and is threaded through every layer of this
+//! reproduction so the progress monitor can reproduce the same breakdown.
+
+use crate::ids::{ItemId, SiteId, Timestamp, TxnId};
+use crate::op::Operation;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A transaction as submitted by a user or the workload generator: an
+/// ordered list of operations, plus optional metadata used for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnSpec {
+    /// Human-readable label ("T1", "transfer", ...) used in reports; does not
+    /// need to be unique.
+    pub label: String,
+    /// The operations, executed in order.
+    pub operations: Vec<Operation>,
+    /// Preferred home site; `None` lets the dispatcher choose (round-robin or
+    /// random, mirroring the GUI's automatic dispatch).
+    pub home: Option<SiteId>,
+}
+
+impl TxnSpec {
+    /// Creates a transaction from its operations.
+    pub fn new(label: impl Into<String>, operations: Vec<Operation>) -> Self {
+        TxnSpec {
+            label: label.into(),
+            operations,
+            home: None,
+        }
+    }
+
+    /// Builder-style helper pinning the transaction to a home site, like the
+    /// manual workload panel (Figure A-2) does.
+    pub fn at_site(mut self, site: SiteId) -> Self {
+        self.home = Some(site);
+        self
+    }
+
+    /// Items read by the transaction (including read-modify-write items).
+    pub fn read_set(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self
+            .operations
+            .iter()
+            .filter(|op| op.is_read())
+            .map(|op| op.item().clone())
+            .collect();
+        items.sort();
+        items.dedup();
+        items
+    }
+
+    /// Items written by the transaction (including read-modify-write items).
+    pub fn write_set(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self
+            .operations
+            .iter()
+            .filter(|op| op.is_update())
+            .map(|op| op.item().clone())
+            .collect();
+        items.sort();
+        items.dedup();
+        items
+    }
+
+    /// True when the transaction contains no update operation.
+    pub fn is_read_only(&self) -> bool {
+        self.operations.iter().all(|op| !op.is_update())
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// True when the transaction has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+}
+
+/// Why a transaction aborted, attributed to the protocol layer responsible.
+///
+/// The breakdown mirrors the paper's statistics list: "abort rates for each
+/// type of aborts" due to RCP, CCP and ACP.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortCause {
+    /// Replication control could not assemble a read or write quorum (not
+    /// enough live copy holders / votes).
+    RcpQuorumUnavailable {
+        /// Item for which the quorum failed.
+        item: ItemId,
+        /// Votes collected.
+        collected: u32,
+        /// Votes required.
+        required: u32,
+    },
+    /// Replication control timed out waiting for copy-holder responses.
+    RcpTimeout {
+        /// Item for which responses were missing.
+        item: ItemId,
+    },
+    /// Concurrency control: lock request denied or timed out (2PL).
+    CcpLockConflict {
+        /// Item on which the conflict occurred.
+        item: ItemId,
+        /// Holder of the conflicting lock, when known.
+        holder: Option<TxnId>,
+    },
+    /// Concurrency control: deadlock victim (2PL with wait-for-graph
+    /// detection, or wound-wait/wait-die policy).
+    CcpDeadlock {
+        /// Item the victim was waiting for.
+        item: ItemId,
+    },
+    /// Concurrency control: timestamp-ordering rejection (operation arrived
+    /// too late with respect to the item's read/write timestamps).
+    CcpTimestampViolation {
+        /// Item on which the violation occurred.
+        item: ItemId,
+        /// Timestamp of the rejected transaction.
+        rejected: Timestamp,
+    },
+    /// Atomic commit: a participant voted NO in phase one.
+    AcpVotedNo {
+        /// The participant that voted no.
+        participant: SiteId,
+    },
+    /// Atomic commit: coordinator timed out collecting votes or acks.
+    AcpTimeout {
+        /// Phase in which the timeout happened ("prepare", "commit", ...).
+        phase: String,
+    },
+    /// The site or network failed in a way that orphaned the transaction
+    /// (home site crash, unreachable coordinator).
+    SiteFailure {
+        /// The failed site.
+        site: SiteId,
+    },
+    /// Aborted explicitly by the user / workload generator.
+    UserAbort,
+}
+
+impl AbortCause {
+    /// The protocol layer charged with the abort, for the statistics
+    /// breakdown. `None` groups failures and user aborts under "other".
+    pub fn layer(&self) -> AbortLayer {
+        match self {
+            AbortCause::RcpQuorumUnavailable { .. } | AbortCause::RcpTimeout { .. } => {
+                AbortLayer::Rcp
+            }
+            AbortCause::CcpLockConflict { .. }
+            | AbortCause::CcpDeadlock { .. }
+            | AbortCause::CcpTimestampViolation { .. } => AbortLayer::Ccp,
+            AbortCause::AcpVotedNo { .. } | AbortCause::AcpTimeout { .. } => AbortLayer::Acp,
+            AbortCause::SiteFailure { .. } | AbortCause::UserAbort => AbortLayer::Other,
+        }
+    }
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCause::RcpQuorumUnavailable {
+                item,
+                collected,
+                required,
+            } => write!(
+                f,
+                "RCP: quorum unavailable for {item} ({collected}/{required} votes)"
+            ),
+            AbortCause::RcpTimeout { item } => write!(f, "RCP: timeout collecting copies of {item}"),
+            AbortCause::CcpLockConflict { item, holder } => match holder {
+                Some(h) => write!(f, "CCP: lock conflict on {item} held by {h}"),
+                None => write!(f, "CCP: lock conflict on {item}"),
+            },
+            AbortCause::CcpDeadlock { item } => write!(f, "CCP: deadlock victim waiting for {item}"),
+            AbortCause::CcpTimestampViolation { item, rejected } => {
+                write!(f, "CCP: timestamp violation on {item} (ts {rejected})")
+            }
+            AbortCause::AcpVotedNo { participant } => {
+                write!(f, "ACP: participant {participant} voted NO")
+            }
+            AbortCause::AcpTimeout { phase } => write!(f, "ACP: timeout during {phase}"),
+            AbortCause::SiteFailure { site } => write!(f, "site failure at {site}"),
+            AbortCause::UserAbort => write!(f, "user abort"),
+        }
+    }
+}
+
+/// The protocol layer an abort is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AbortLayer {
+    /// Replication control protocol.
+    Rcp,
+    /// Concurrency control protocol.
+    Ccp,
+    /// Atomic commitment protocol.
+    Acp,
+    /// Failures and user aborts.
+    Other,
+}
+
+impl fmt::Display for AbortLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortLayer::Rcp => write!(f, "RCP"),
+            AbortLayer::Ccp => write!(f, "CCP"),
+            AbortLayer::Acp => write!(f, "ACP"),
+            AbortLayer::Other => write!(f, "other"),
+        }
+    }
+}
+
+/// Final outcome of a transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TxnOutcome {
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted for the given reason.
+    Aborted(AbortCause),
+    /// The transaction never reached a decision visible to the client — its
+    /// home site or coordinator crashed mid-flight. Section 3 calls these
+    /// "orphan transactions".
+    Orphaned,
+}
+
+impl TxnOutcome {
+    /// True if committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+
+    /// True if aborted (not orphaned).
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, TxnOutcome::Aborted(_))
+    }
+
+    /// True if orphaned.
+    pub fn is_orphaned(&self) -> bool {
+        matches!(self, TxnOutcome::Orphaned)
+    }
+
+    /// The abort cause, if aborted.
+    pub fn abort_cause(&self) -> Option<&AbortCause> {
+        match self {
+            TxnOutcome::Aborted(cause) => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+/// The complete result of processing one transaction, as fed back to the GUI
+/// ("the results of transaction processing are feeding back to the user in
+/// real time").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnResult {
+    /// The transaction id assigned by the home site.
+    pub id: TxnId,
+    /// The label from the submitted [`TxnSpec`].
+    pub label: String,
+    /// Outcome.
+    pub outcome: TxnOutcome,
+    /// Values observed by the read operations, keyed by item. Present only
+    /// for committed transactions.
+    pub reads: BTreeMap<ItemId, Value>,
+    /// Wall-clock response time (submission to decision).
+    pub response_time: Duration,
+    /// Number of restarts the transaction went through before reaching this
+    /// outcome (a transaction aborted by CCP may be resubmitted by the
+    /// workload generator).
+    pub restarts: u32,
+    /// Messages exchanged on behalf of this transaction, as counted by the
+    /// network simulator.
+    pub messages: u64,
+}
+
+impl TxnResult {
+    /// Shorthand used by tests and reports.
+    pub fn committed(&self) -> bool {
+        self.outcome.is_committed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operation;
+
+    fn transfer() -> TxnSpec {
+        TxnSpec::new(
+            "transfer",
+            vec![
+                Operation::read("a"),
+                Operation::read("b"),
+                Operation::write("a", 10i64),
+                Operation::write("b", 20i64),
+            ],
+        )
+    }
+
+    #[test]
+    fn read_and_write_sets_are_sorted_and_deduplicated() {
+        let t = TxnSpec::new(
+            "t",
+            vec![
+                Operation::read("x"),
+                Operation::increment("x", 1),
+                Operation::write("a", 1i64),
+                Operation::write("a", 2i64),
+            ],
+        );
+        assert_eq!(t.read_set(), vec![ItemId::new("x")]);
+        assert_eq!(t.write_set(), vec![ItemId::new("a"), ItemId::new("x")]);
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let ro = TxnSpec::new("ro", vec![Operation::read("x"), Operation::read("y")]);
+        assert!(ro.is_read_only());
+        assert!(!transfer().is_read_only());
+    }
+
+    #[test]
+    fn at_site_sets_home() {
+        let t = transfer().at_site(SiteId(3));
+        assert_eq!(t.home, Some(SiteId(3)));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_spec_is_empty() {
+        let t = TxnSpec::new("noop", vec![]);
+        assert!(t.is_empty());
+        assert!(t.is_read_only());
+        assert_eq!(t.read_set(), vec![]);
+        assert_eq!(t.write_set(), vec![]);
+    }
+
+    #[test]
+    fn abort_causes_map_to_layers() {
+        let rcp = AbortCause::RcpQuorumUnavailable {
+            item: ItemId::new("x"),
+            collected: 1,
+            required: 2,
+        };
+        let rcp2 = AbortCause::RcpTimeout { item: ItemId::new("x") };
+        let ccp = AbortCause::CcpLockConflict {
+            item: ItemId::new("x"),
+            holder: None,
+        };
+        let ccp2 = AbortCause::CcpDeadlock { item: ItemId::new("x") };
+        let ccp3 = AbortCause::CcpTimestampViolation {
+            item: ItemId::new("x"),
+            rejected: Timestamp::new(1, 1),
+        };
+        let acp = AbortCause::AcpVotedNo {
+            participant: SiteId(1),
+        };
+        let acp2 = AbortCause::AcpTimeout {
+            phase: "prepare".into(),
+        };
+        let other = AbortCause::SiteFailure { site: SiteId(0) };
+        assert_eq!(rcp.layer(), AbortLayer::Rcp);
+        assert_eq!(rcp2.layer(), AbortLayer::Rcp);
+        assert_eq!(ccp.layer(), AbortLayer::Ccp);
+        assert_eq!(ccp2.layer(), AbortLayer::Ccp);
+        assert_eq!(ccp3.layer(), AbortLayer::Ccp);
+        assert_eq!(acp.layer(), AbortLayer::Acp);
+        assert_eq!(acp2.layer(), AbortLayer::Acp);
+        assert_eq!(other.layer(), AbortLayer::Other);
+        assert_eq!(AbortCause::UserAbort.layer(), AbortLayer::Other);
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(TxnOutcome::Committed.is_committed());
+        assert!(!TxnOutcome::Committed.is_aborted());
+        let aborted = TxnOutcome::Aborted(AbortCause::UserAbort);
+        assert!(aborted.is_aborted());
+        assert!(aborted.abort_cause().is_some());
+        assert!(TxnOutcome::Orphaned.is_orphaned());
+        assert!(TxnOutcome::Committed.abort_cause().is_none());
+    }
+
+    #[test]
+    fn abort_cause_display_mentions_layer() {
+        let c = AbortCause::CcpDeadlock { item: ItemId::new("x") };
+        assert!(c.to_string().contains("CCP"));
+        let c = AbortCause::AcpTimeout { phase: "prepare".into() };
+        assert!(c.to_string().contains("ACP"));
+        let c = AbortCause::RcpTimeout { item: ItemId::new("x") };
+        assert!(c.to_string().contains("RCP"));
+        assert_eq!(AbortLayer::Rcp.to_string(), "RCP");
+        assert_eq!(AbortLayer::Other.to_string(), "other");
+    }
+
+    #[test]
+    fn txn_result_committed_shorthand() {
+        let res = TxnResult {
+            id: TxnId::new(SiteId(0), 1),
+            label: "t".into(),
+            outcome: TxnOutcome::Committed,
+            reads: BTreeMap::new(),
+            response_time: Duration::from_millis(5),
+            restarts: 0,
+            messages: 12,
+        };
+        assert!(res.committed());
+    }
+}

@@ -1,0 +1,192 @@
+//! The value domain of Rainbow database items.
+//!
+//! The original system stores simple scalar values in its demonstration
+//! database; we support integers, floats, text and raw bytes plus a `Null`
+//! marker so that classroom exercises (bank accounts, seat counts, string
+//! catalogues) can all be expressed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value stored in (one copy of) a database item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absence of a value; the state of an item that was declared but never
+    /// written.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Opaque bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Returns the integer content if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float content if this is an [`Value::Float`] (or the
+    /// integer content widened to a float).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the textual content if this is a [`Value::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Adds `delta` to an integer value, used by the workload generator's
+    /// "debit/credit" style transactions. Null is treated as zero so that a
+    /// fresh item can be incremented.
+    ///
+    /// Returns `None` when the value is not numeric.
+    pub fn add_int(&self, delta: i64) -> Option<Value> {
+        match self {
+            Value::Int(v) => Some(Value::Int(v.wrapping_add(delta))),
+            Value::Null => Some(Value::Int(delta)),
+            _ => None,
+        }
+    }
+
+    /// Approximate size in bytes of the value payload, used by the network
+    /// simulator to account message sizes.
+    pub fn payload_size(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Text(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v:?}"),
+            Value::Bytes(v) => write!(f, "<{} bytes>", v.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Text("hi".into()).as_text(), Some("hi"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn add_int_handles_null_and_non_numeric() {
+        assert_eq!(Value::Int(10).add_int(5), Some(Value::Int(15)));
+        assert_eq!(Value::Null.add_int(5), Some(Value::Int(5)));
+        assert_eq!(Value::Text("x".into()).add_int(5), None);
+    }
+
+    #[test]
+    fn add_int_wraps_rather_than_panicking() {
+        assert_eq!(
+            Value::Int(i64::MAX).add_int(1),
+            Some(Value::Int(i64::MIN))
+        );
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Value::Null.payload_size(), 0);
+        assert_eq!(Value::Int(1).payload_size(), 8);
+        assert_eq!(Value::Float(1.0).payload_size(), 8);
+        assert_eq!(Value::Text("abcd".into()).payload_size(), 4);
+        assert_eq!(Value::Bytes(vec![0; 16]).payload_size(), 16);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(0.5f64), Value::Float(0.5));
+        assert_eq!(Value::from("a"), Value::Text("a".into()));
+        assert_eq!(Value::from(vec![1u8, 2]), Value::Bytes(vec![1, 2]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Text("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).to_string(), "<3 bytes>");
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+    }
+}

@@ -1,0 +1,154 @@
+//! Savable session configuration.
+//!
+//! "The configuration data can be saved for reuse in another session"
+//! (Section 4.2). A [`SessionConfig`] captures everything the GUI panels
+//! configure — sites, database items, replication scheme, protocol stack and
+//! network simulation — and round-trips through JSON on disk.
+
+use rainbow_common::config::{DatabaseSchema, DistributionSchema};
+use rainbow_common::protocol::ProtocolStack;
+use rainbow_common::{RainbowError, RainbowResult};
+use rainbow_core::ClusterConfig;
+use rainbow_net::NetworkConfig;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Duration;
+
+/// A complete, serializable Rainbow session configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Sites and hosts.
+    pub distribution: DistributionSchema,
+    /// Items, initial values, replication scheme.
+    pub database: DatabaseSchema,
+    /// Protocol stack.
+    pub stack: ProtocolStack,
+    /// Network simulation.
+    pub network: NetworkConfig,
+    /// Client timeout in milliseconds (after which an unanswered
+    /// transaction is reported as orphaned).
+    pub client_timeout_ms: u64,
+    /// Master seed for workload generation in this session.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            distribution: DistributionSchema::one_site_per_host(4),
+            database: DatabaseSchema::default(),
+            stack: ProtocolStack::rainbow_default(),
+            network: NetworkConfig::perfect(),
+            client_timeout_ms: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Converts into the cluster configuration used to start the core.
+    pub fn to_cluster_config(&self) -> ClusterConfig {
+        ClusterConfig {
+            distribution: self.distribution.clone(),
+            database: self.database.clone(),
+            stack: self.stack.clone(),
+            network: self.network.clone(),
+            client_timeout: Duration::from_millis(self.client_timeout_ms),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> RainbowResult<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| RainbowError::Serialization(e.to_string()))
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> RainbowResult<Self> {
+        serde_json::from_str(json).map_err(|e| RainbowError::Serialization(e.to_string()))
+    }
+
+    /// Saves to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> RainbowResult<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| RainbowError::Storage(e.to_string()))
+    }
+
+    /// Loads from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> RainbowResult<Self> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| RainbowError::Storage(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Validates the configuration (delegates to the cluster validation).
+    pub fn validate(&self) -> RainbowResult<()> {
+        self.to_cluster_config().validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::config::ItemPlacement;
+    use rainbow_common::SiteId;
+
+    fn sample() -> SessionConfig {
+        let mut config = SessionConfig::default();
+        let sites = config.distribution.site_ids();
+        config.database = DatabaseSchema::uniform(6, 100, &sites, 3).unwrap();
+        config
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let config = sample();
+        let json = config.to_json().unwrap();
+        let back = SessionConfig::from_json(&json).unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let config = sample();
+        let dir = std::env::temp_dir().join("rainbow-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.json");
+        config.save(&path).unwrap();
+        let back = SessionConfig::load(&path).unwrap();
+        assert_eq!(config, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_is_a_storage_error() {
+        let err = SessionConfig::load("/definitely/not/a/real/path.json").unwrap_err();
+        assert!(matches!(err, RainbowError::Storage(_)));
+    }
+
+    #[test]
+    fn malformed_json_is_a_serialization_error() {
+        let err = SessionConfig::from_json("{not json").unwrap_err();
+        assert!(matches!(err, RainbowError::Serialization(_)));
+    }
+
+    #[test]
+    fn validation_catches_bad_placements() {
+        let mut config = sample();
+        config
+            .database
+            .replication
+            .place("x0", ItemPlacement::majority(vec![SiteId(99)]));
+        assert!(config.validate().is_err());
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn cluster_config_conversion_copies_timeout() {
+        let mut config = sample();
+        config.client_timeout_ms = 1234;
+        let cluster = config.to_cluster_config();
+        assert_eq!(cluster.client_timeout, Duration::from_millis(1234));
+        assert_eq!(cluster.distribution, config.distribution);
+    }
+}

@@ -1,0 +1,213 @@
+//! Text rendering of statistics and experiment tables.
+//!
+//! The Rainbow GUI displays "transaction processing output" (Figure 5) and
+//! lets the user view statistics via the *Tx Processing* menu. This module
+//! renders the same information as plain text so examples, benches and test
+//! logs can show it, and provides a small fixed-width table builder used by
+//! every experiment binary so their output is uniform and easy to diff
+//! against EXPERIMENTS.md.
+
+use rainbow_common::stats::StatsSnapshot;
+use rainbow_common::txn::AbortLayer;
+use std::fmt::Write as _;
+
+/// Renders the Figure-5-style transaction processing output panel.
+pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Rainbow Tx Processing Output: {title} ===");
+    let _ = writeln!(out, "submitted transactions      : {}", stats.submitted);
+    let _ = writeln!(out, "committed transactions      : {}", stats.committed);
+    let _ = writeln!(out, "aborted transactions        : {}", stats.aborted);
+    let _ = writeln!(out, "orphan transactions         : {}", stats.orphans);
+    let _ = writeln!(out, "restarted transactions      : {}", stats.restarted);
+    let _ = writeln!(out, "commit rate                 : {:.3}", stats.commit_rate());
+    let _ = writeln!(out, "abort rate                  : {:.3}", stats.abort_rate());
+    for layer in [AbortLayer::Rcp, AbortLayer::Ccp, AbortLayer::Acp, AbortLayer::Other] {
+        let _ = writeln!(
+            out,
+            "  abort rate due to {:<9}: {:.3} ({} aborts)",
+            layer.to_string(),
+            stats.abort_rate_for(layer),
+            stats.aborts.layer(layer)
+        );
+    }
+    let _ = writeln!(out, "throughput (commit/s)       : {:.1}", stats.throughput());
+    let _ = writeln!(
+        out,
+        "response time mean/p95/p99  : {:.2} / {:.2} / {:.2} ms",
+        stats.response_time.mean_us as f64 / 1000.0,
+        stats.response_time.p95_us as f64 / 1000.0,
+        stats.response_time.p99_us as f64 / 1000.0
+    );
+    let _ = writeln!(out, "messages sent               : {}", stats.messages.sent);
+    let _ = writeln!(
+        out,
+        "messages per second         : {:.1}",
+        stats.messages_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "messages per transaction    : {:.2}",
+        stats.messages_per_txn()
+    );
+    let _ = writeln!(out, "round-trip messages         : {}", stats.messages.round_trips);
+    let _ = writeln!(
+        out,
+        "load imbalance (cv)         : {:.3}",
+        stats.load.imbalance()
+    );
+    if !stats.messages.by_kind.is_empty() {
+        let _ = writeln!(out, "messages by kind:");
+        for (kind, count) in &stats.messages.by_kind {
+            let _ = writeln!(out, "  {kind:<20} {count}");
+        }
+    }
+    out
+}
+
+/// A fixed-width table used by the experiment binaries to print the series
+/// the paper's evaluation would report.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there is no data row.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "--- {} ---", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .take(columns)
+                .map(|(i, cell)| format!("{cell:<width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::stats::{AbortBreakdown, LatencyStats};
+    use std::time::Duration;
+
+    fn sample_stats() -> StatsSnapshot {
+        let mut aborts = AbortBreakdown::default();
+        aborts.record(AbortLayer::Ccp, "deadlock");
+        let mut snapshot = StatsSnapshot {
+            submitted: 10,
+            committed: 8,
+            aborted: 2,
+            orphans: 0,
+            restarted: 1,
+            aborts,
+            elapsed_secs: 2.0,
+            response_time: LatencyStats::from_samples(&[
+                Duration::from_millis(5),
+                Duration::from_millis(10),
+            ]),
+            ..Default::default()
+        };
+        snapshot.messages.sent = 120;
+        snapshot
+            .messages
+            .by_kind
+            .insert("ACP_PREPARE".into(), 24);
+        snapshot.load.served_requests.insert(0, 60);
+        snapshot.load.served_requests.insert(1, 60);
+        snapshot
+    }
+
+    #[test]
+    fn stats_panel_contains_every_headline_number() {
+        let panel = render_stats_panel("unit test", &sample_stats());
+        assert!(panel.contains("committed transactions      : 8"));
+        assert!(panel.contains("aborted transactions        : 2"));
+        assert!(panel.contains("commit rate                 : 0.800"));
+        assert!(panel.contains("CCP"));
+        assert!(panel.contains("messages sent               : 120"));
+        assert!(panel.contains("ACP_PREPARE"));
+        assert!(panel.contains("throughput"));
+    }
+
+    #[test]
+    fn experiment_table_renders_aligned_columns() {
+        let mut table = ExperimentTable::new("quorum traffic", &["degree", "msgs/txn", "winner"]);
+        assert!(table.is_empty());
+        table.row(&["1".into(), "3.0".into(), "ROWA".into()]);
+        table.row(&["5".into(), "17.5".into(), "QC".into()]);
+        assert_eq!(table.len(), 2);
+        let rendered = table.render();
+        assert!(rendered.contains("--- quorum traffic ---"));
+        assert!(rendered.contains("degree"));
+        assert!(rendered.contains("msgs/txn"));
+        assert!(rendered.contains("ROWA"));
+        assert!(rendered.contains("17.5"));
+        // Header separator present.
+        assert!(rendered.contains("------"));
+    }
+
+    #[test]
+    fn table_handles_rows_wider_than_headers() {
+        let mut table = ExperimentTable::new("t", &["a"]);
+        table.row(&["a-very-long-cell".into()]);
+        let rendered = table.render();
+        assert!(rendered.contains("a-very-long-cell"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Middle-tier runner facades.
+//!
+//! The paper's middle tier consists of servlets with narrowly scoped roles:
+//! the WLGlet "transfers transaction processing related requests ... to
+//! Rainbow sites" and the PMlet "brings progress related requests to and
+//! results back from both the name server and the Rainbow sites". These
+//! facades preserve that separation of concerns for callers that want to
+//! hand a *workload-only* or *monitoring-only* capability to part of their
+//! code (for example, a classroom harness that lets students submit
+//! transactions but not reconfigure the system).
+
+use crate::session::{Session, WorkloadReport};
+use rainbow_common::stats::StatsSnapshot;
+use rainbow_common::txn::{TxnResult, TxnSpec};
+use rainbow_common::{ItemId, RainbowResult, SiteId, Value, Version};
+use rainbow_wlg::{ArrivalProcess, WorkloadParams, WorkloadProfile};
+
+/// Workload-submission facade (the WLGlet role).
+pub struct WorkloadRunner<'a> {
+    session: &'a Session,
+}
+
+impl<'a> WorkloadRunner<'a> {
+    /// Wraps a running session.
+    pub fn new(session: &'a Session) -> Self {
+        WorkloadRunner { session }
+    }
+
+    /// Submits one transaction.
+    pub fn submit(&self, spec: TxnSpec) -> RainbowResult<TxnResult> {
+        self.session.submit(spec)
+    }
+
+    /// Submits a batch of manual transactions.
+    pub fn submit_all(&self, specs: Vec<TxnSpec>) -> RainbowResult<Vec<TxnResult>> {
+        self.session.submit_manual(specs)
+    }
+
+    /// Runs a named workload profile.
+    pub fn run_profile(
+        &self,
+        profile: WorkloadProfile,
+        transactions: usize,
+        arrival: ArrivalProcess,
+    ) -> RainbowResult<WorkloadReport> {
+        self.session.run_generated(profile, transactions, arrival)
+    }
+
+    /// Runs an explicitly parameterized workload.
+    pub fn run_params(
+        &self,
+        params: WorkloadParams,
+        arrival: ArrivalProcess,
+    ) -> RainbowResult<WorkloadReport> {
+        self.session.run_params(params, arrival)
+    }
+}
+
+/// Monitoring facade (the PMlet role).
+pub struct ProgressRunner<'a> {
+    session: &'a Session,
+}
+
+impl<'a> ProgressRunner<'a> {
+    /// Wraps a running session.
+    pub fn new(session: &'a Session) -> Self {
+        ProgressRunner { session }
+    }
+
+    /// The cumulative statistics snapshot.
+    pub fn statistics(&self) -> RainbowResult<StatsSnapshot> {
+        self.session.statistics()
+    }
+
+    /// Renders the text output panel.
+    pub fn render(&self, title: &str) -> RainbowResult<String> {
+        self.session.render_statistics(title)
+    }
+
+    /// The committed database state at one site.
+    pub fn database_view(&self, site: SiteId) -> RainbowResult<Vec<(ItemId, Value, Version)>> {
+        self.session.database_view(site)
+    }
+
+    /// Checks that every copy of every item has converged to the same value
+    /// at every holder site (used after failure/recovery experiments).
+    /// Returns the list of items whose copies diverge, with the differing
+    /// `(site, value, version)` triples.
+    pub fn replica_divergence(
+        &self,
+    ) -> RainbowResult<Vec<(ItemId, Vec<(SiteId, Value, Version)>)>> {
+        let mut per_item: std::collections::BTreeMap<ItemId, Vec<(SiteId, Value, Version)>> =
+            std::collections::BTreeMap::new();
+        for site in self.session.site_ids() {
+            for (item, value, version) in self.session.database_view(site)? {
+                per_item.entry(item).or_default().push((site, value, version));
+            }
+        }
+        Ok(per_item
+            .into_iter()
+            .filter(|(_, copies)| {
+                // Copies may legitimately differ in version under quorum
+                // consensus (stale minority copies); divergence means two
+                // copies claim the same version with different values.
+                let mut by_version: std::collections::BTreeMap<Version, &Value> =
+                    std::collections::BTreeMap::new();
+                for (_, value, version) in copies {
+                    match by_version.get(version) {
+                        Some(existing) if *existing != value => return true,
+                        _ => {
+                            by_version.insert(*version, value);
+                        }
+                    }
+                }
+                false
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::protocol::ProtocolStack;
+    use rainbow_common::Operation;
+    use std::time::Duration;
+
+    fn session() -> Session {
+        let mut session = Session::new();
+        session.configure_sites(3).unwrap();
+        session
+            .configure_protocols(
+                ProtocolStack::rainbow_default()
+                    .with_lock_wait_timeout(Duration::from_millis(200))
+                    .with_quorum_timeout(Duration::from_millis(500))
+                    .with_commit_timeout(Duration::from_millis(500)),
+            )
+            .unwrap();
+        session.configure_uniform_database(6, 50, 3).unwrap();
+        session.start().unwrap();
+        session
+    }
+
+    #[test]
+    fn workload_runner_submits_and_runs_profiles() {
+        let session = session();
+        let wlg = WorkloadRunner::new(&session);
+        let result = wlg
+            .submit(TxnSpec::new("t", vec![Operation::increment("x0", 5)]))
+            .unwrap();
+        assert!(result.committed());
+        let report = wlg
+            .run_profile(
+                WorkloadProfile::ReadHeavy,
+                10,
+                ArrivalProcess::Closed { mpl: 2 },
+            )
+            .unwrap();
+        assert_eq!(report.results.len(), 10);
+    }
+
+    #[test]
+    fn progress_runner_reports_statistics_and_convergence() {
+        let session = session();
+        let wlg = WorkloadRunner::new(&session);
+        wlg.submit_all(vec![
+            TxnSpec::new("w1", vec![Operation::write("x0", 1i64)]),
+            TxnSpec::new("w2", vec![Operation::write("x1", 2i64)]),
+        ])
+        .unwrap();
+        let pm = ProgressRunner::new(&session);
+        let stats = pm.statistics().unwrap();
+        assert_eq!(stats.submitted, 2);
+        assert!(pm.render("runner test").unwrap().contains("committed"));
+        assert!(!pm.database_view(SiteId(0)).unwrap().is_empty());
+        let divergence = pm.replica_divergence().unwrap();
+        assert!(
+            divergence.is_empty(),
+            "replicas diverged: {divergence:?}"
+        );
+    }
+}

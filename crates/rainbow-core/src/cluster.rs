@@ -1,0 +1,583 @@
+//! Building and driving a complete Rainbow instance.
+//!
+//! A [`Cluster`] is the programmatic equivalent of a configured Rainbow
+//! session: a simulated network, the name server, and a set of Rainbow
+//! sites, plus a client endpoint through which transactions are submitted
+//! and results collected (the role the GUI + WLGlet/PMlet play in the
+//! paper). The workload generator, the Session API, the examples and every
+//! bench drive the system through this type.
+
+use crate::messages::Msg;
+use crate::metrics::{ProgressMonitor, SiteMetrics};
+use crate::name_server::NameServer;
+use crate::site::SiteHandle;
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rainbow_common::config::{DatabaseSchema, DistributionSchema};
+use rainbow_common::protocol::ProtocolStack;
+use rainbow_common::stats::StatsSnapshot;
+use rainbow_common::txn::{TxnOutcome, TxnResult, TxnSpec};
+use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version};
+use rainbow_net::{FaultController, NetworkConfig, NetworkCounters, NodeId, SimNetwork};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Full configuration of a Rainbow instance.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Sites and the hosts they live on.
+    pub distribution: DistributionSchema,
+    /// Items, initial values and the replication scheme.
+    pub database: DatabaseSchema,
+    /// The protocol stack (RCP + CCP + ACP and their timeouts).
+    pub stack: ProtocolStack,
+    /// The simulated network.
+    pub network: NetworkConfig,
+    /// How long a client waits for a transaction result before declaring the
+    /// transaction orphaned.
+    pub client_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A convenient classroom-scale configuration: `n_sites` sites (one per
+    /// host), `n_items` integer items initialised to 100 and replicated on
+    /// `replication_degree` sites with majority quorums, default protocol
+    /// stack, perfect network.
+    pub fn quick(n_sites: usize, n_items: usize, replication_degree: usize) -> RainbowResult<Self> {
+        let distribution = DistributionSchema::one_site_per_host(n_sites);
+        let database =
+            DatabaseSchema::uniform(n_items, 100, &distribution.site_ids(), replication_degree)?;
+        Ok(ClusterConfig {
+            distribution,
+            database,
+            stack: ProtocolStack::rainbow_default()
+                .with_lock_wait_timeout(Duration::from_millis(200))
+                .with_quorum_timeout(Duration::from_millis(500))
+                .with_commit_timeout(Duration::from_millis(500)),
+            network: NetworkConfig::perfect(),
+            client_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Builder-style protocol-stack override.
+    pub fn with_stack(mut self, stack: ProtocolStack) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Builder-style network override.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Builder-style client timeout.
+    pub fn with_client_timeout(mut self, timeout: Duration) -> Self {
+        self.client_timeout = timeout;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> RainbowResult<()> {
+        self.distribution.validate()?;
+        self.database.validate()?;
+        if self.distribution.is_empty() {
+            return Err(RainbowError::InvalidConfig("no sites configured".into()));
+        }
+        // Every copy holder must be a configured site.
+        let sites = self.distribution.site_ids();
+        for holder in self.database.replication.copy_holders() {
+            if !sites.contains(&holder) {
+                return Err(RainbowError::InvalidConfig(format!(
+                    "replication scheme references unknown site {holder}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A running Rainbow instance.
+pub struct Cluster {
+    config: ClusterConfig,
+    network: SimNetwork<Msg>,
+    #[allow(dead_code)]
+    name_server: NameServer,
+    sites: BTreeMap<SiteId, SiteHandle>,
+    monitor: Arc<ProgressMonitor>,
+    client_node: NodeId,
+    pending: Arc<Mutex<HashMap<u64, Sender<TxnResult>>>>,
+    next_request: AtomicU64,
+    round_robin: AtomicU64,
+    router_shutdown: Arc<AtomicBool>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Builds and starts a Rainbow instance from a configuration.
+    pub fn start(config: ClusterConfig) -> RainbowResult<Self> {
+        config.validate()?;
+        let network = SimNetwork::<Msg>::new(config.network.clone());
+        let monitor = Arc::new(ProgressMonitor::new(network.counters()));
+
+        // Name server first: sites fetch their schema from it at startup.
+        let ns_mailbox = network.register(NodeId::NameServer);
+        let name_server = NameServer::spawn(
+            network.handle(),
+            ns_mailbox,
+            config.database.clone(),
+            config.distribution.clone(),
+        );
+
+        let mut sites = BTreeMap::new();
+        for spec in &config.distribution.sites {
+            let mailbox = network.register(NodeId::Site(spec.id));
+            let metrics = Arc::new(SiteMetrics::new());
+            monitor.register_site(spec.id, Arc::clone(&metrics));
+            let site = SiteHandle::spawn(
+                spec.id,
+                config.stack.clone(),
+                network.handle(),
+                mailbox,
+                metrics,
+            )?;
+            sites.insert(spec.id, site);
+        }
+
+        // The client endpoint and its result router.
+        let client_node = NodeId::Client(0);
+        let client_mailbox = network.register(client_node);
+        let pending: Arc<Mutex<HashMap<u64, Sender<TxnResult>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let router_shutdown = Arc::new(AtomicBool::new(false));
+        let router = {
+            let pending = Arc::clone(&pending);
+            let monitor = Arc::clone(&monitor);
+            let shutdown = Arc::clone(&router_shutdown);
+            std::thread::Builder::new()
+                .name("rainbow-client-router".into())
+                .spawn(move || client_router(client_mailbox, pending, monitor, shutdown))
+                .expect("failed to spawn client router")
+        };
+
+        Ok(Cluster {
+            config,
+            network,
+            name_server,
+            sites,
+            monitor,
+            client_node,
+            pending,
+            next_request: AtomicU64::new(1),
+            round_robin: AtomicU64::new(0),
+            router_shutdown,
+            router: Some(router),
+        })
+    }
+
+    /// The configuration the cluster was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The ids of the configured sites.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        self.sites.keys().copied().collect()
+    }
+
+    /// The fault controller (crash/recover/partition injection).
+    pub fn faults(&self) -> Arc<FaultController> {
+        self.network.faults()
+    }
+
+    /// The raw network traffic counters.
+    pub fn network_counters(&self) -> Arc<NetworkCounters> {
+        self.network.counters()
+    }
+
+    /// The progress monitor.
+    pub fn monitor(&self) -> Arc<ProgressMonitor> {
+        Arc::clone(&self.monitor)
+    }
+
+    /// The current statistics snapshot (the Figure 5 panel).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.monitor.snapshot()
+    }
+
+    /// Number of transactions currently holding concurrency-control
+    /// resources at each site. Useful in tests and experiment teardown to
+    /// verify that no transaction leaked locks after a workload finished.
+    pub fn active_cc_transactions(&self) -> std::collections::BTreeMap<SiteId, usize> {
+        self.sites
+            .iter()
+            .map(|(id, handle)| (*id, handle.active_transactions()))
+            .collect()
+    }
+
+    /// Diagnostic view of participant-side transactions still registered at
+    /// each site (see [`SiteHandle::lingering_participants`]).
+    pub fn lingering_participants(
+        &self,
+    ) -> std::collections::BTreeMap<SiteId, Vec<(rainbow_common::TxnId, String, f64)>> {
+        self.sites
+            .iter()
+            .map(|(id, handle)| (*id, handle.lingering_participants()))
+            .collect()
+    }
+
+    /// The committed database state stored at one site.
+    pub fn database_snapshot(&self, site: SiteId) -> RainbowResult<Vec<(ItemId, Value, Version)>> {
+        self.sites
+            .get(&site)
+            .map(|s| s.database_snapshot())
+            .ok_or(RainbowError::UnknownSite(site))
+    }
+
+    /// Crashes a site: its messages are dropped by the network until it is
+    /// recovered.
+    pub fn crash_site(&self, site: SiteId) -> RainbowResult<()> {
+        if !self.sites.contains_key(&site) {
+            return Err(RainbowError::UnknownSite(site));
+        }
+        self.network.faults().crash(NodeId::Site(site));
+        Ok(())
+    }
+
+    /// Recovers a crashed site: volatile state is discarded, the committed
+    /// state is rebuilt from its log, in-doubt transactions are resolved
+    /// with their coordinators, and the site rejoins the network.
+    pub fn recover_site(&self, site: SiteId) -> RainbowResult<()> {
+        let handle = self
+            .sites
+            .get(&site)
+            .ok_or(RainbowError::UnknownSite(site))?;
+        handle.recover_from_crash();
+        self.network.faults().recover(NodeId::Site(site));
+        Ok(())
+    }
+
+    /// Partitions the network into the given site groups (sites not listed
+    /// end up in an implicit extra group).
+    pub fn partition(&self, groups: &[Vec<SiteId>]) {
+        let node_groups: Vec<Vec<NodeId>> = groups
+            .iter()
+            .map(|group| group.iter().map(|s| NodeId::Site(*s)).collect())
+            .collect();
+        self.network.faults().partition(&node_groups);
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partition(&self) {
+        self.network.faults().heal_partition();
+    }
+
+    /// Submits a transaction and returns a receiver for its result. The
+    /// home site is the one named in the spec, or chosen round-robin.
+    pub fn submit_async(&self, spec: TxnSpec) -> Receiver<TxnResult> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(request, tx);
+        self.monitor.record_submitted();
+
+        let home = spec.home.unwrap_or_else(|| {
+            let ids = self.site_ids();
+            let index = self.round_robin.fetch_add(1, Ordering::Relaxed) as usize % ids.len();
+            ids[index]
+        });
+        let send_result = self.network.handle().send(
+            self.client_node,
+            NodeId::Site(home),
+            Msg::SubmitTxn { request, spec },
+        );
+        if send_result.is_err() {
+            // Network already shut down: nobody will ever answer; the caller
+            // sees an orphan through the timeout path.
+            self.pending.lock().remove(&request);
+        }
+        rx
+    }
+
+    /// Submits a transaction and waits for its result. A transaction whose
+    /// home site never answers (crash, partition) is reported as orphaned
+    /// after the configured client timeout — the paper's "orphan
+    /// transactions" statistic.
+    pub fn submit(&self, spec: TxnSpec) -> TxnResult {
+        let label = spec.label.clone();
+        let rx = self.submit_async(spec);
+        match rx.recv_timeout(self.config.client_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                let result = TxnResult {
+                    id: TxnId::new(SiteId(u32::MAX), 0),
+                    label,
+                    outcome: TxnOutcome::Orphaned,
+                    reads: BTreeMap::new(),
+                    response_time: self.config.client_timeout,
+                    restarts: 0,
+                    messages: 0,
+                };
+                self.monitor.record_result(&result);
+                result
+            }
+        }
+    }
+
+    /// Runs a batch of transactions with at most `mpl` (multiprogramming
+    /// level) outstanding at any time and returns all results.
+    pub fn run_workload(&self, specs: Vec<TxnSpec>, mpl: usize) -> Vec<TxnResult> {
+        let mpl = mpl.max(1);
+        let queue = Arc::new(Mutex::new(specs.into_iter().collect::<Vec<_>>()));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for _ in 0..mpl {
+                let queue = Arc::clone(&queue);
+                let results = Arc::clone(&results);
+                scope.spawn(move || loop {
+                    let next = queue.lock().pop();
+                    match next {
+                        Some(spec) => {
+                            let result = self.submit(spec);
+                            results.lock().push(result);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        let mut collected = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        collected.sort_by_key(|r| r.id);
+        collected
+    }
+
+    /// Stops every component. Transactions still in flight are abandoned.
+    pub fn shutdown(&mut self) {
+        self.router_shutdown.store(true, Ordering::Relaxed);
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+        for site in self.sites.values_mut() {
+            site.shutdown();
+        }
+        self.name_server.shutdown();
+        self.network.shutdown();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn client_router(
+    mailbox: Receiver<rainbow_net::Envelope<Msg>>,
+    pending: Arc<Mutex<HashMap<u64, Sender<TxnResult>>>>,
+    monitor: Arc<ProgressMonitor>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match mailbox.recv_timeout(Duration::from_millis(25)) {
+            Ok(envelope) => {
+                if let Msg::TxnDone { request, result } = envelope.payload {
+                    // Only record and forward when somebody is still waiting;
+                    // results arriving after the client gave up (orphan
+                    // timeout) were already accounted for.
+                    if let Some(tx) = pending.lock().remove(&request) {
+                        monitor.record_result(&result);
+                        let _ = tx.send(result);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::protocol::{AcpKind, CcpKind, RcpKind};
+    use rainbow_common::Operation;
+
+    fn quick_cluster(n_sites: usize) -> Cluster {
+        Cluster::start(ClusterConfig::quick(n_sites, 8, n_sites.min(3)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn read_only_transaction_commits_and_reads_initial_values() {
+        let cluster = quick_cluster(3);
+        let result = cluster.submit(TxnSpec::new(
+            "read-only",
+            vec![Operation::read("x0"), Operation::read("x1")],
+        ));
+        assert!(result.committed(), "outcome was {:?}", result.outcome);
+        assert_eq!(result.reads.get(&ItemId::new("x0")), Some(&Value::Int(100)));
+        assert_eq!(result.reads.get(&ItemId::new("x1")), Some(&Value::Int(100)));
+        let stats = cluster.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.committed, 1);
+    }
+
+    #[test]
+    fn update_transaction_is_visible_to_later_readers() {
+        let cluster = quick_cluster(3);
+        let write = cluster.submit(TxnSpec::new(
+            "writer",
+            vec![Operation::write("x0", 555i64)],
+        ));
+        assert!(write.committed(), "outcome was {:?}", write.outcome);
+        let read = cluster.submit(TxnSpec::new("reader", vec![Operation::read("x0")]));
+        assert!(read.committed());
+        assert_eq!(read.reads.get(&ItemId::new("x0")), Some(&Value::Int(555)));
+    }
+
+    #[test]
+    fn increments_accumulate_across_transactions() {
+        let cluster = quick_cluster(2);
+        for _ in 0..5 {
+            let result = cluster.submit(TxnSpec::new(
+                "inc",
+                vec![Operation::increment("x2", 10)],
+            ));
+            assert!(result.committed(), "outcome was {:?}", result.outcome);
+        }
+        let read = cluster.submit(TxnSpec::new("check", vec![Operation::read("x2")]));
+        assert_eq!(read.reads.get(&ItemId::new("x2")), Some(&Value::Int(150)));
+    }
+
+    #[test]
+    fn unknown_item_aborts_with_rcp_cause() {
+        let cluster = quick_cluster(2);
+        let result = cluster.submit(TxnSpec::new(
+            "bad",
+            vec![Operation::read("does-not-exist")],
+        ));
+        assert!(result.outcome.is_aborted());
+        let stats = cluster.stats();
+        assert_eq!(stats.aborted, 1);
+    }
+
+    #[test]
+    fn pinned_home_site_is_respected() {
+        let cluster = quick_cluster(3);
+        let result = cluster.submit(
+            TxnSpec::new("pinned", vec![Operation::read("x0")]).at_site(SiteId(2)),
+        );
+        assert!(result.committed());
+        assert_eq!(result.id.home, SiteId(2));
+    }
+
+    #[test]
+    fn workload_batch_runs_to_completion() {
+        let cluster = quick_cluster(3);
+        let specs: Vec<TxnSpec> = (0..20)
+            .map(|i| {
+                TxnSpec::new(
+                    format!("t{i}"),
+                    vec![
+                        Operation::read(format!("x{}", i % 8)),
+                        Operation::increment(format!("x{}", (i + 1) % 8), 1),
+                    ],
+                )
+            })
+            .collect();
+        let results = cluster.run_workload(specs, 4);
+        assert_eq!(results.len(), 20);
+        let stats = cluster.stats();
+        assert_eq!(stats.submitted, 20);
+        assert_eq!(stats.committed + stats.aborted + stats.orphans, 20);
+        assert!(stats.committed > 0);
+        assert!(stats.messages.sent > 0);
+    }
+
+    #[test]
+    fn rowa_and_alternative_ccp_stacks_work_end_to_end() {
+        for (rcp, ccp, acp) in [
+            (RcpKind::Rowa, CcpKind::TwoPhaseLocking, AcpKind::TwoPhaseCommit),
+            (RcpKind::QuorumConsensus, CcpKind::TimestampOrdering, AcpKind::TwoPhaseCommit),
+            (
+                RcpKind::QuorumConsensus,
+                CcpKind::MultiversionTimestampOrdering,
+                AcpKind::ThreePhaseCommit,
+            ),
+        ] {
+            let config = ClusterConfig::quick(3, 6, 3).unwrap().with_stack(
+                ProtocolStack::rainbow_default()
+                    .with_rcp(rcp)
+                    .with_ccp(ccp)
+                    .with_acp(acp)
+                    .with_lock_wait_timeout(Duration::from_millis(200))
+                    .with_quorum_timeout(Duration::from_millis(500))
+                    .with_commit_timeout(Duration::from_millis(500)),
+            );
+            let cluster = Cluster::start(config).unwrap();
+            let write = cluster.submit(TxnSpec::new("w", vec![Operation::write("x0", 9i64)]));
+            assert!(
+                write.committed(),
+                "stack {rcp:?}+{ccp:?}+{acp:?} failed: {:?}",
+                write.outcome
+            );
+            let read = cluster.submit(TxnSpec::new("r", vec![Operation::read("x0")]));
+            assert_eq!(
+                read.reads.get(&ItemId::new("x0")),
+                Some(&Value::Int(9)),
+                "stack {rcp:?}+{ccp:?}+{acp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crashing_a_majority_blocks_writes_under_qc() {
+        let cluster = quick_cluster(3);
+        cluster.crash_site(SiteId(1)).unwrap();
+        cluster.crash_site(SiteId(2)).unwrap();
+        let result = cluster.submit(TxnSpec::new(
+            "blocked",
+            vec![Operation::write("x0", 1i64)],
+        ));
+        assert!(
+            !result.committed(),
+            "write must not commit without a quorum: {:?}",
+            result.outcome
+        );
+        // Recover and retry: the system heals.
+        cluster.recover_site(SiteId(1)).unwrap();
+        cluster.recover_site(SiteId(2)).unwrap();
+        let retry = cluster.submit(TxnSpec::new("retry", vec![Operation::write("x0", 2i64)]));
+        assert!(retry.committed(), "outcome was {:?}", retry.outcome);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut config = ClusterConfig::quick(2, 2, 2).unwrap();
+        config
+            .database
+            .replication
+            .place("x0", rainbow_common::config::ItemPlacement::majority(vec![SiteId(9)]));
+        assert!(Cluster::start(config).is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_exposes_load_balance_per_site() {
+        let cluster = quick_cluster(2);
+        for i in 0..6 {
+            cluster.submit(TxnSpec::new(
+                format!("t{i}"),
+                vec![Operation::read("x0")],
+            ));
+        }
+        let stats = cluster.stats();
+        let total_home: u64 = stats.load.home_transactions.values().sum();
+        assert_eq!(total_home, 6);
+    }
+}

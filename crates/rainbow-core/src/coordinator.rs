@@ -1,0 +1,564 @@
+//! The home-site transaction manager (coordinator worker).
+//!
+//! One worker thread per transaction executes the flow of Section 2.1 of the
+//! paper:
+//!
+//! 1. the RCP builds a read or write quorum **per operation**, contacting
+//!    copy-holder sites whose CCP arbitrates each copy access;
+//! 2. once every operation has its quorum, the home site runs the ACP (2PC
+//!    by default, 3PC optionally);
+//! 3. the result — committed, aborted (with the responsible layer) or
+//!    orphaned — is reported back to the submitting client together with
+//!    the values read, the response time and the number of messages the
+//!    transaction generated.
+
+use crate::messages::{CopyAccessResult, Msg};
+use crate::site::SiteShared;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
+use rainbow_commit::{Coordinator, CoordinatorAction, Decision, Vote};
+use rainbow_common::txn::{AbortCause, TxnOutcome, TxnResult, TxnSpec};
+use rainbow_common::{ItemId, Operation, SiteId, Timestamp, TxnId, Value, Version};
+use rainbow_net::{Envelope, NodeId};
+use rainbow_replication::{QuorumCollector, QuorumOutcome, QuorumResponse};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Mutable execution state of one transaction at its coordinator.
+struct TxnExecution {
+    txn: TxnId,
+    ts: Timestamp,
+    /// Values observed by read operations.
+    reads: BTreeMap<ItemId, Value>,
+    /// Writes to install per participant site.
+    writes_per_site: BTreeMap<SiteId, Vec<(ItemId, Value, Version)>>,
+    /// Every site that granted this transaction an access (they all hold CCP
+    /// resources and must see the final decision).
+    touched: BTreeSet<SiteId>,
+    /// Every site the transaction *contacted* (quorum targets), whether or
+    /// not it answered in time. Contacted-but-untouched sites may have
+    /// granted a lock after the quorum was already assembled; they receive a
+    /// release notice when the transaction finishes so their resources do
+    /// not linger until the janitor.
+    contacted: BTreeSet<SiteId>,
+    /// Messages sent on behalf of this transaction (remote only; loopback is
+    /// free, as in the paper's message accounting).
+    messages: u64,
+}
+
+impl TxnExecution {
+    fn new(txn: TxnId, ts: Timestamp) -> Self {
+        TxnExecution {
+            txn,
+            ts,
+            reads: BTreeMap::new(),
+            writes_per_site: BTreeMap::new(),
+            touched: BTreeSet::new(),
+            contacted: BTreeSet::new(),
+            messages: 0,
+        }
+    }
+}
+
+/// Entry point of the coordinator worker thread: executes `spec` and reports
+/// the result to `client`.
+pub(crate) fn run_transaction(
+    shared: Arc<SiteShared>,
+    spec: TxnSpec,
+    client: NodeId,
+    request: u64,
+) {
+    let txn = TxnId::new(shared.id, shared.txn_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+    let ts = shared.clock.next();
+    let started = Instant::now();
+
+    let (reply_tx, reply_rx) = unbounded();
+    shared.register_reply_channel(txn, reply_tx);
+
+    let mut exec = TxnExecution::new(txn, ts);
+    let outcome = match execute_operations(&shared, &spec, &mut exec, &reply_rx) {
+        Ok(()) => run_commit_protocol(&shared, &mut exec, &reply_rx),
+        Err(cause) => {
+            // Release whatever the transaction holds at the sites it touched.
+            abort_everywhere(&shared, &mut exec);
+            TxnOutcome::Aborted(cause)
+        }
+    };
+    release_stragglers(&shared, &mut exec);
+
+    shared.unregister_reply_channel(txn);
+
+    if outcome.is_committed() {
+        shared.decided.lock().insert(txn, Decision::Commit);
+    }
+
+    let result = TxnResult {
+        id: txn,
+        label: spec.label.clone(),
+        outcome,
+        reads: if spec.is_read_only() || !exec.reads.is_empty() {
+            exec.reads.clone()
+        } else {
+            BTreeMap::new()
+        },
+        response_time: started.elapsed(),
+        restarts: 0,
+        messages: exec.messages,
+    };
+    shared.send(client, Msg::TxnDone { request, result });
+}
+
+/// Executes every operation of the transaction through the RCP, collecting
+/// read values and the per-site write sets.
+fn execute_operations(
+    shared: &Arc<SiteShared>,
+    spec: &TxnSpec,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+) -> Result<(), AbortCause> {
+    for op in &spec.operations {
+        match op {
+            Operation::Read { item } => {
+                let (value, _) = read_quorum(shared, exec, replies, item)?;
+                exec.reads.insert(item.clone(), value);
+            }
+            Operation::Write { item, value } => {
+                write_quorum(shared, exec, replies, item, value.clone())?;
+            }
+            Operation::Increment { item, delta } => {
+                // A read-modify-write builds a single *write* quorum whose
+                // copy accesses take write access up front and return the
+                // current value (read-for-update), avoiding shared→exclusive
+                // upgrades and a second quorum round.
+                let collector =
+                    run_quorum(shared, exec, replies, item, QuorumAccess::ReadForUpdate)?;
+                let (current, _) = collector
+                    .latest_value()
+                    .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
+                let new_value = current.add_int(*delta).ok_or(AbortCause::UserAbort)?;
+                exec.reads.insert(item.clone(), current);
+                let new_version = new_write_version(shared, exec, &collector);
+                for site in collector.responders() {
+                    exec.writes_per_site
+                        .entry(site)
+                        .or_default()
+                        .push((item.clone(), new_value.clone(), new_version));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The replica version number a write must install.
+///
+/// Under 2PL, write quorums are serialized by exclusive locks, so
+/// `max(version in quorum) + 1` is strictly increasing in commit order.
+/// Under (MV)TSO, conflicting pre-writes are *not* serialized before commit
+/// — two concurrent writers could both observe the same committed version
+/// and install colliding numbers — so the version is derived from the
+/// transaction's globally unique timestamp instead, which is exactly the
+/// order those protocols serialize by.
+fn new_write_version(
+    shared: &Arc<SiteShared>,
+    exec: &TxnExecution,
+    collector: &QuorumCollector,
+) -> Version {
+    match shared.stack.ccp {
+        rainbow_common::protocol::CcpKind::TwoPhaseLocking => collector.next_version(),
+        rainbow_common::protocol::CcpKind::TimestampOrdering
+        | rainbow_common::protocol::CcpKind::MultiversionTimestampOrdering => {
+            // Encode (counter, site) into a single monotonic number; site ids
+            // are far below 1024 in any Rainbow configuration.
+            Version(exec.ts.counter * 1024 + u64::from(exec.ts.site % 1024))
+        }
+    }
+}
+
+/// The three copy-access patterns the coordinator issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QuorumAccess {
+    /// Read quorum, shared access.
+    Read,
+    /// Write quorum, pre-write access (version numbers only).
+    Write,
+    /// Write quorum whose accesses also return the current value
+    /// (read-modify-write operations).
+    ReadForUpdate,
+}
+
+/// Builds a read quorum for `item` and returns the highest-versioned value.
+fn read_quorum(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+    item: &ItemId,
+) -> Result<(Value, Version), AbortCause> {
+    let collector = run_quorum(shared, exec, replies, item, QuorumAccess::Read)?;
+    collector.latest_value().ok_or_else(|| AbortCause::RcpTimeout {
+        item: item.clone(),
+    })
+}
+
+/// Builds a write quorum for `item` and records the write for every site in
+/// the quorum.
+fn write_quorum(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+    item: &ItemId,
+    value: Value,
+) -> Result<(), AbortCause> {
+    let collector = run_quorum(shared, exec, replies, item, QuorumAccess::Write)?;
+    let new_version = new_write_version(shared, exec, &collector);
+    for site in collector.responders() {
+        exec.writes_per_site
+            .entry(site)
+            .or_default()
+            .push((item.clone(), value.clone(), new_version));
+    }
+    Ok(())
+}
+
+/// Sends the copy-access requests for one quorum and collects responses
+/// until the quorum is assembled, impossible, or the quorum timeout expires.
+fn run_quorum(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+    item: &ItemId,
+    access: QuorumAccess,
+) -> Result<QuorumCollector, AbortCause> {
+    let schema = shared.schema.read();
+    let placement = match schema.replication.placement(item) {
+        Some(p) => p.clone(),
+        None => {
+            return Err(AbortCause::RcpQuorumUnavailable {
+                item: item.clone(),
+                collected: 0,
+                required: 0,
+            })
+        }
+    };
+    drop(schema);
+
+    let suspected_down: Vec<SiteId> = shared
+        .net
+        .faults()
+        .crashed_nodes()
+        .iter()
+        .filter_map(|n| n.as_site())
+        .collect();
+    let plan = match access {
+        QuorumAccess::Read => {
+            shared
+                .rcp
+                .plan_read(item, &placement, Some(shared.id), &suspected_down)
+        }
+        QuorumAccess::Write | QuorumAccess::ReadForUpdate => {
+            shared.rcp.plan_write(item, &placement)
+        }
+    };
+    // Only plain pre-writes come back flagged as pre-write replies;
+    // read-for-update accesses reply like reads (they carry the value).
+    let is_prewrite = access == QuorumAccess::Write;
+    let targets = plan.targets.clone();
+    let mut collector = plan.collector();
+
+    for target in &targets {
+        let msg = match access {
+            QuorumAccess::Write => Msg::CopyPrewrite {
+                txn: exec.txn,
+                ts: exec.ts,
+                item: item.clone(),
+            },
+            QuorumAccess::Read => Msg::CopyRead {
+                txn: exec.txn,
+                ts: exec.ts,
+                item: item.clone(),
+                for_update: false,
+            },
+            QuorumAccess::ReadForUpdate => Msg::CopyRead {
+                txn: exec.txn,
+                ts: exec.ts,
+                item: item.clone(),
+                for_update: true,
+            },
+        };
+        shared.send(NodeId::Site(*target), msg);
+        exec.contacted.insert(*target);
+        if *target != shared.id {
+            exec.messages += 1;
+        }
+    }
+
+    let deadline = Instant::now() + shared.stack.quorum_timeout;
+    let mut first_ccp_cause: Option<AbortCause> = None;
+
+    loop {
+        match collector.outcome() {
+            QuorumOutcome::Assembled => {
+                // Every responder holds CCP resources on our behalf.
+                for site in collector.responders() {
+                    exec.touched.insert(site);
+                }
+                return Ok(collector);
+            }
+            QuorumOutcome::Impossible => {
+                // Responders so far still hold resources and must be released
+                // by the caller's abort path.
+                for site in collector.responders() {
+                    exec.touched.insert(site);
+                }
+                return Err(first_ccp_cause.unwrap_or_else(|| collector.abort_cause()));
+            }
+            QuorumOutcome::Pending => {}
+        }
+
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            for site in collector.responders() {
+                exec.touched.insert(site);
+            }
+            return Err(first_ccp_cause.unwrap_or(AbortCause::RcpTimeout { item: item.clone() }));
+        }
+        match replies.recv_timeout(remaining) {
+            Ok(envelope) => {
+                let from_site = envelope.from.as_site();
+                if let Msg::CopyReply {
+                    item: reply_item,
+                    prewrite,
+                    result,
+                    ..
+                } = envelope.payload
+                {
+                    if reply_item != *item || prewrite != is_prewrite {
+                        continue; // stale reply from an earlier operation
+                    }
+                    let Some(site) = from_site else { continue };
+                    if envelope.from != shared.node {
+                        shared.net.counters().record_round_trip();
+                    }
+                    match result {
+                        CopyAccessResult::Granted { value, version } => {
+                            collector.record_response(QuorumResponse {
+                                site,
+                                version,
+                                value,
+                            });
+                        }
+                        CopyAccessResult::Denied(cause) => {
+                            if first_ccp_cause.is_none() {
+                                first_ccp_cause = Some(cause);
+                            }
+                            collector.record_failure(site);
+                        }
+                        CopyAccessResult::NoSuchCopy => {
+                            collector.record_failure(site);
+                        }
+                    }
+                }
+                // Other message kinds (late votes/acks from a previous
+                // operation set) are ignored.
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(AbortCause::SiteFailure { site: shared.id })
+            }
+        }
+    }
+}
+
+/// Runs the atomic commit protocol over every touched site and returns the
+/// final transaction outcome.
+fn run_commit_protocol(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+) -> TxnOutcome {
+    let participants: Vec<SiteId> = exec.touched.iter().copied().collect();
+    let mut coordinator = Coordinator::new(exec.txn, shared.stack.acp, participants.clone());
+    let mut abort_cause: Option<AbortCause> = None;
+
+    let action = coordinator.start();
+    if let CoordinatorAction::Complete(decision) = action {
+        // No participants: a transaction that touched nothing commits
+        // trivially.
+        return match decision {
+            Decision::Commit => TxnOutcome::Committed,
+            Decision::Abort => TxnOutcome::Aborted(AbortCause::UserAbort),
+        };
+    }
+    perform_action(shared, exec, action, &mut abort_cause);
+
+    let mut deadline = Instant::now() + shared.stack.commit_timeout;
+    loop {
+        if coordinator.state() == rainbow_commit::CoordinatorState::Completed {
+            break;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let event = if remaining.is_zero() {
+            None
+        } else {
+            match replies.recv_timeout(remaining) {
+                Ok(envelope) => Some(envelope),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => None,
+            }
+        };
+        let action = match event {
+            Some(envelope) => {
+                let from_site = envelope.from.as_site();
+                match (envelope.payload, from_site) {
+                    (Msg::AcpVote { vote, .. }, Some(site)) => {
+                        if vote == Vote::No && abort_cause.is_none() {
+                            abort_cause = Some(AbortCause::AcpVotedNo { participant: site });
+                        }
+                        coordinator.on_vote(site, vote)
+                    }
+                    (Msg::AcpPreCommitAck { .. }, Some(site)) => {
+                        coordinator.on_precommit_ack(site)
+                    }
+                    (Msg::AcpAck { .. }, Some(site)) => coordinator.on_ack(site),
+                    _ => CoordinatorAction::Wait,
+                }
+            }
+            None => {
+                if abort_cause.is_none() {
+                    abort_cause = Some(AbortCause::AcpTimeout {
+                        phase: match coordinator.state() {
+                            rainbow_commit::CoordinatorState::CollectingVotes => "prepare".into(),
+                            rainbow_commit::CoordinatorState::CollectingPreCommitAcks => {
+                                "pre-commit".into()
+                            }
+                            _ => "ack".into(),
+                        },
+                    });
+                }
+                coordinator.on_timeout()
+            }
+        };
+        // Phase transitions get a fresh timeout window.
+        match action {
+            CoordinatorAction::SendPreCommit(_) | CoordinatorAction::SendDecision(..) => {
+                deadline = Instant::now() + shared.stack.commit_timeout;
+            }
+            _ => {}
+        }
+        if perform_action(shared, exec, action, &mut abort_cause) {
+            break;
+        }
+    }
+
+    match coordinator.decision() {
+        Some(Decision::Commit) => TxnOutcome::Committed,
+        Some(Decision::Abort) => TxnOutcome::Aborted(abort_cause.unwrap_or(AbortCause::AcpTimeout {
+            phase: "prepare".into(),
+        })),
+        None => TxnOutcome::Orphaned,
+    }
+}
+
+/// Performs one coordinator action (sending the corresponding messages).
+/// Returns true when the protocol is complete.
+fn perform_action(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    action: CoordinatorAction,
+    _abort_cause: &mut Option<AbortCause>,
+) -> bool {
+    match action {
+        CoordinatorAction::SendPrepare(targets) => {
+            for target in targets {
+                let writes = exec.writes_per_site.get(&target).cloned().unwrap_or_default();
+                shared.send(
+                    NodeId::Site(target),
+                    Msg::AcpPrepare {
+                        txn: exec.txn,
+                        ts: exec.ts,
+                        writes,
+                    },
+                );
+                if target != shared.id {
+                    exec.messages += 1;
+                }
+            }
+            false
+        }
+        CoordinatorAction::SendPreCommit(targets) => {
+            for target in targets {
+                shared.send(NodeId::Site(target), Msg::AcpPreCommit { txn: exec.txn });
+                if target != shared.id {
+                    exec.messages += 1;
+                }
+            }
+            false
+        }
+        CoordinatorAction::SendDecision(decision, targets) => {
+            // Force the decision at the coordinator before telling anyone.
+            shared.decided.lock().insert(exec.txn, decision);
+            for target in targets {
+                shared.send(
+                    NodeId::Site(target),
+                    Msg::AcpDecision {
+                        txn: exec.txn,
+                        decision,
+                    },
+                );
+                if target != shared.id {
+                    exec.messages += 1;
+                }
+            }
+            false
+        }
+        CoordinatorAction::Complete(_) => true,
+        CoordinatorAction::Wait => false,
+    }
+}
+
+/// Sends a release notice (an abort decision) to every site that was
+/// contacted but is not a commit-protocol participant. Such a site may have
+/// granted a copy access *after* the quorum was already assembled (or after
+/// it became impossible); it holds locks for this transaction but will never
+/// hear from the commit protocol, so it is told to drop them now instead of
+/// waiting for the janitor. Aborting at a non-participant is always safe:
+/// the site has no staged writes for this transaction.
+fn release_stragglers(shared: &Arc<SiteShared>, exec: &mut TxnExecution) {
+    let stragglers: Vec<SiteId> = exec
+        .contacted
+        .iter()
+        .filter(|site| !exec.touched.contains(site))
+        .copied()
+        .collect();
+    for site in stragglers {
+        shared.send(
+            NodeId::Site(site),
+            Msg::AcpDecision {
+                txn: exec.txn,
+                decision: Decision::Abort,
+            },
+        );
+        if site != shared.id {
+            exec.messages += 1;
+        }
+    }
+}
+
+/// Fire-and-forget abort distribution used when the transaction fails before
+/// the commit protocol starts: every touched site must release the
+/// transaction's CCP resources and discard staged state.
+fn abort_everywhere(shared: &Arc<SiteShared>, exec: &mut TxnExecution) {
+    shared.decided.lock().insert(exec.txn, Decision::Abort);
+    for site in exec.touched.clone() {
+        shared.send(
+            NodeId::Site(site),
+            Msg::AcpDecision {
+                txn: exec.txn,
+                decision: Decision::Abort,
+            },
+        );
+        if site != shared.id {
+            exec.messages += 1;
+        }
+    }
+}

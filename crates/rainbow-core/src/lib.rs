@@ -1,0 +1,39 @@
+//! # rainbow-core
+//!
+//! The Rainbow core: "the name server and a number of Rainbow sites"
+//! (Section 2 of the paper), plus the transaction manager that wires the
+//! three protocol layers together and the progress monitor that produces the
+//! statistics panel of Figure 5.
+//!
+//! * [`messages`] — the protocol message set exchanged between sites, the
+//!   name server and clients over the `rainbow-net` simulator;
+//! * [`name_server`] — the (single, per-instance) name server storing the
+//!   distribution, fragmentation and replication schema and answering
+//!   lookups from sites;
+//! * [`site`] — the Rainbow site runtime: a dispatcher thread, one worker
+//!   thread per in-flight transaction (exactly as in the paper: "the site
+//!   dedicates one thread to process it"), copy-access handling through the
+//!   configured CCP, and 2PC/3PC participant handling;
+//! * [`coordinator`] — the home-site transaction manager: drives the RCP
+//!   (quorum building per operation), then the ACP, and classifies aborts by
+//!   the layer that caused them;
+//! * [`cluster`] — builds a complete Rainbow instance (network + name server
+//!   + sites) from configuration and offers the client API used by the
+//!   workload generator, the Session layer, the examples and the benches;
+//! * [`metrics`] — per-site metrics and the global progress monitor.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod coordinator;
+pub mod messages;
+pub mod metrics;
+pub mod name_server;
+pub mod site;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use messages::Msg;
+pub use metrics::{ProgressMonitor, SiteMetrics};
+pub use name_server::NameServer;
+pub use site::SiteHandle;

@@ -1,0 +1,365 @@
+//! The message set of the Rainbow core.
+//!
+//! Every interaction between clients, the name server and Rainbow sites is a
+//! [`Msg`] travelling through the `rainbow-net` simulator, so the paper's
+//! "total number of messages generated per time unit" statistic and the
+//! quorum message-traffic experiment count exactly what the protocols
+//! exchange.
+
+use rainbow_commit::{Decision, Vote};
+use rainbow_common::config::{DatabaseSchema, DistributionSchema};
+use rainbow_common::txn::{AbortCause, TxnResult, TxnSpec};
+use rainbow_common::{ItemId, Timestamp, TxnId, Value, Version};
+use rainbow_net::NetMessage;
+
+/// Result of a copy access at a holder site: either the copy's
+/// `(value, version)` (value is `None` for pre-writes) or the abort cause
+/// produced by the holder's CCP.
+#[derive(Debug, Clone)]
+pub enum CopyAccessResult {
+    /// Access granted.
+    Granted {
+        /// The copy's value; `None` for pre-write (version-only) accesses.
+        value: Option<Value>,
+        /// The copy's current version number.
+        version: Version,
+    },
+    /// Access denied by the holder's concurrency control.
+    Denied(AbortCause),
+    /// The item is not stored at the contacted site (configuration error or
+    /// stale schema).
+    NoSuchCopy,
+}
+
+/// The Rainbow protocol messages.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ------------------------------------------------------------------
+    // Client ↔ site (the WLGlet / PMlet paths of the middle tier)
+    // ------------------------------------------------------------------
+    /// A client submits a transaction to its home site.
+    SubmitTxn {
+        /// Client-chosen request id, echoed back in [`Msg::TxnDone`].
+        request: u64,
+        /// The transaction.
+        spec: TxnSpec,
+    },
+    /// A site reports the final result of a submitted transaction back to
+    /// the client that submitted it.
+    TxnDone {
+        /// The client request id from [`Msg::SubmitTxn`].
+        request: u64,
+        /// The result.
+        result: TxnResult,
+    },
+
+    // ------------------------------------------------------------------
+    // Name server
+    // ------------------------------------------------------------------
+    /// A site (or client) asks the name server for the schemas.
+    NsGetSchema,
+    /// The name server's reply.
+    NsSchema {
+        /// The database + replication schema.
+        database: DatabaseSchema,
+        /// The site/host distribution schema.
+        distribution: DistributionSchema,
+    },
+
+    // ------------------------------------------------------------------
+    // Replication control: copy accesses (executed through the CCP at the
+    // holder site)
+    // ------------------------------------------------------------------
+    /// Read one copy of an item.
+    CopyRead {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// Its timestamp.
+        ts: Timestamp,
+        /// The item.
+        item: ItemId,
+        /// When true the read is on behalf of a read-modify-write operation:
+        /// the holder acquires *write* access (exclusive lock / pre-write
+        /// validation) before returning the value, so the transaction never
+        /// needs a shared→exclusive upgrade later.
+        for_update: bool,
+    },
+    /// Pre-write one copy of an item (returns its current version).
+    CopyPrewrite {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// Its timestamp.
+        ts: Timestamp,
+        /// The item.
+        item: ItemId,
+    },
+    /// Reply to [`Msg::CopyRead`] / [`Msg::CopyPrewrite`].
+    CopyReply {
+        /// The transaction the reply belongs to.
+        txn: TxnId,
+        /// The item.
+        item: ItemId,
+        /// Whether the reply answers a pre-write (true) or a read (false).
+        prewrite: bool,
+        /// The outcome.
+        result: CopyAccessResult,
+    },
+
+    // ------------------------------------------------------------------
+    // Atomic commitment
+    // ------------------------------------------------------------------
+    /// 2PC PREPARE / 3PC CAN-COMMIT, carrying the writes this participant
+    /// must install if the decision is commit.
+    AcpPrepare {
+        /// The transaction.
+        txn: TxnId,
+        /// Its timestamp.
+        ts: Timestamp,
+        /// Writes destined for this participant.
+        writes: Vec<(ItemId, Value, Version)>,
+    },
+    /// A participant's vote.
+    AcpVote {
+        /// The transaction.
+        txn: TxnId,
+        /// The vote.
+        vote: Vote,
+    },
+    /// 3PC PRE-COMMIT.
+    AcpPreCommit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// 3PC PRE-COMMIT acknowledgement.
+    AcpPreCommitAck {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The coordinator's decision.
+    AcpDecision {
+        /// The transaction.
+        txn: TxnId,
+        /// Commit or abort.
+        decision: Decision,
+    },
+    /// A participant's acknowledgement of the decision.
+    AcpAck {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A recovering / blocked participant asks a coordinator (or peer) for
+    /// the fate of a transaction.
+    AcpStatusQuery {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Answer to a status query. `None` means the queried site has no record
+    /// of a decision (presumed abort applies at the coordinator).
+    AcpStatusReply {
+        /// The transaction.
+        txn: TxnId,
+        /// The decision, if known.
+        decision: Option<Decision>,
+    },
+}
+
+impl Msg {
+    /// The transaction a message refers to, for response routing.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            Msg::CopyRead { txn, .. }
+            | Msg::CopyPrewrite { txn, .. }
+            | Msg::CopyReply { txn, .. }
+            | Msg::AcpPrepare { txn, .. }
+            | Msg::AcpVote { txn, .. }
+            | Msg::AcpPreCommit { txn }
+            | Msg::AcpPreCommitAck { txn }
+            | Msg::AcpDecision { txn, .. }
+            | Msg::AcpAck { txn }
+            | Msg::AcpStatusQuery { txn }
+            | Msg::AcpStatusReply { txn, .. } => Some(*txn),
+            _ => None,
+        }
+    }
+
+    /// True for messages that are *responses* routed back to a waiting
+    /// transaction coordinator. ([`Msg::AcpStatusReply`] is not included:
+    /// status replies answer a *participant* that is blocked or recovering,
+    /// and are handled by the site dispatcher itself.)
+    pub fn is_coordinator_response(&self) -> bool {
+        matches!(
+            self,
+            Msg::CopyReply { .. }
+                | Msg::AcpVote { .. }
+                | Msg::AcpPreCommitAck { .. }
+                | Msg::AcpAck { .. }
+        )
+    }
+}
+
+impl NetMessage for Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::SubmitTxn { .. } => "SUBMIT_TXN",
+            Msg::TxnDone { .. } => "TXN_DONE",
+            Msg::NsGetSchema => "NS_GET_SCHEMA",
+            Msg::NsSchema { .. } => "NS_SCHEMA",
+            Msg::CopyRead { .. } => "RCP_READ",
+            Msg::CopyPrewrite { .. } => "RCP_PREWRITE",
+            Msg::CopyReply { .. } => "RCP_REPLY",
+            Msg::AcpPrepare { .. } => "ACP_PREPARE",
+            Msg::AcpVote { .. } => "ACP_VOTE",
+            Msg::AcpPreCommit { .. } => "ACP_PRECOMMIT",
+            Msg::AcpPreCommitAck { .. } => "ACP_PRECOMMIT_ACK",
+            Msg::AcpDecision { .. } => "ACP_DECISION",
+            Msg::AcpAck { .. } => "ACP_ACK",
+            Msg::AcpStatusQuery { .. } => "ACP_STATUS_QUERY",
+            Msg::AcpStatusReply { .. } => "ACP_STATUS_REPLY",
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        // A rough wire-size model: fixed header plus payload-dependent parts.
+        const HEADER: usize = 48;
+        match self {
+            Msg::SubmitTxn { spec, .. } => HEADER + 64 + spec.operations.len() * 32,
+            Msg::TxnDone { result, .. } => HEADER + 64 + result.reads.len() * 24,
+            Msg::NsGetSchema => HEADER,
+            Msg::NsSchema { database, .. } => HEADER + database.items.len() * 48,
+            Msg::CopyRead { item, .. } | Msg::CopyPrewrite { item, .. } => {
+                HEADER + item.name().len()
+            }
+            Msg::CopyReply { item, result, .. } => {
+                let payload = match result {
+                    CopyAccessResult::Granted { value, .. } => {
+                        value.as_ref().map(|v| v.payload_size()).unwrap_or(0) + 8
+                    }
+                    _ => 16,
+                };
+                HEADER + item.name().len() + payload
+            }
+            Msg::AcpPrepare { writes, .. } => {
+                HEADER
+                    + writes
+                        .iter()
+                        .map(|(item, value, _)| item.name().len() + value.payload_size() + 8)
+                        .sum::<usize>()
+            }
+            _ => HEADER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::SiteId;
+
+    fn txn() -> TxnId {
+        TxnId::new(SiteId(1), 4)
+    }
+
+    #[test]
+    fn txn_extraction_covers_protocol_messages() {
+        assert_eq!(
+            Msg::CopyRead {
+                txn: txn(),
+                ts: Timestamp::new(1, 1),
+                item: ItemId::new("x"),
+                for_update: false,
+            }
+            .txn(),
+            Some(txn())
+        );
+        assert_eq!(Msg::AcpAck { txn: txn() }.txn(), Some(txn()));
+        assert_eq!(Msg::NsGetSchema.txn(), None);
+        assert_eq!(
+            Msg::SubmitTxn {
+                request: 1,
+                spec: TxnSpec::new("t", vec![]),
+            }
+            .txn(),
+            None
+        );
+    }
+
+    #[test]
+    fn coordinator_response_classification() {
+        assert!(Msg::AcpVote {
+            txn: txn(),
+            vote: Vote::Yes
+        }
+        .is_coordinator_response());
+        assert!(Msg::CopyReply {
+            txn: txn(),
+            item: ItemId::new("x"),
+            prewrite: false,
+            result: CopyAccessResult::NoSuchCopy,
+        }
+        .is_coordinator_response());
+        assert!(!Msg::AcpPrepare {
+            txn: txn(),
+            ts: Timestamp::ZERO,
+            writes: vec![],
+        }
+        .is_coordinator_response());
+        assert!(!Msg::NsGetSchema.is_coordinator_response());
+        assert!(!Msg::AcpStatusReply {
+            txn: txn(),
+            decision: None,
+        }
+        .is_coordinator_response());
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_the_traffic_experiments() {
+        let kinds = [
+            Msg::NsGetSchema.kind(),
+            Msg::CopyRead {
+                txn: txn(),
+                ts: Timestamp::ZERO,
+                item: ItemId::new("x"),
+                for_update: false,
+            }
+            .kind(),
+            Msg::CopyPrewrite {
+                txn: txn(),
+                ts: Timestamp::ZERO,
+                item: ItemId::new("x"),
+            }
+            .kind(),
+            Msg::AcpPrepare {
+                txn: txn(),
+                ts: Timestamp::ZERO,
+                writes: vec![],
+            }
+            .kind(),
+            Msg::AcpDecision {
+                txn: txn(),
+                decision: Decision::Commit,
+            }
+            .kind(),
+        ];
+        let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn size_hints_grow_with_payload() {
+        let small = Msg::AcpPrepare {
+            txn: txn(),
+            ts: Timestamp::ZERO,
+            writes: vec![],
+        };
+        let large = Msg::AcpPrepare {
+            txn: txn(),
+            ts: Timestamp::ZERO,
+            writes: vec![
+                (ItemId::new("x"), Value::Int(1), Version(1)),
+                (ItemId::new("y"), Value::Text("hello".into()), Version(2)),
+            ],
+        };
+        assert!(large.size_hint() > small.size_hint());
+        assert!(Msg::NsGetSchema.size_hint() > 0);
+    }
+}

@@ -1,0 +1,959 @@
+//! The Rainbow site runtime.
+//!
+//! A site is one node of the distributed database. It runs:
+//!
+//! * a **dispatcher thread** that drains the site's network mailbox and
+//!   routes messages — responses go to the transaction-coordinator worker
+//!   waiting for them, requests are handled (inline when non-blocking,
+//!   on a short-lived handler thread when they may block on a lock);
+//! * **one worker thread per in-flight transaction** whose home is this
+//!   site, exactly as in the paper ("When a new transaction arrives at a
+//!   Rainbow site, the site dedicates one thread to process it");
+//! * the **participant side** of the commit protocol for transactions
+//!   coordinated elsewhere, including a janitor that cleans up transactions
+//!   whose coordinator disappeared and the recovery path that resolves
+//!   in-doubt transactions after a crash.
+
+use crate::coordinator::run_transaction;
+use crate::messages::{CopyAccessResult, Msg};
+use crate::metrics::SiteMetrics;
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use rainbow_cc::{make_ccp, CcDecision, CcProtocol, TxnContext};
+use rainbow_commit::{Decision, Participant, ParticipantAction, ParticipantState, Vote};
+use rainbow_common::config::DatabaseSchema;
+use rainbow_common::protocol::ProtocolStack;
+use rainbow_common::{
+    ItemId, RainbowError, RainbowResult, SiteId, Timestamp, TimestampGenerator, TxnId, Value,
+    Version,
+};
+use rainbow_net::{Envelope, NetHandle, NodeId};
+use rainbow_replication::{make_rcp, ReplicationControl};
+use rainbow_storage::SiteStorage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Participant-side bookkeeping for one transaction at this site.
+pub(crate) struct ParticipantEntry {
+    pub machine: Participant,
+    pub ctx: TxnContext,
+    pub coordinator: NodeId,
+    pub last_activity: Instant,
+}
+
+/// State shared between the dispatcher, handler threads and transaction
+/// workers of one site.
+pub(crate) struct SiteShared {
+    pub id: SiteId,
+    pub node: NodeId,
+    pub stack: ProtocolStack,
+    pub storage: SiteStorage,
+    pub ccp: RwLock<Arc<dyn CcProtocol>>,
+    pub rcp: Arc<dyn ReplicationControl>,
+    pub schema: RwLock<DatabaseSchema>,
+    pub net: NetHandle<Msg>,
+    pub metrics: Arc<SiteMetrics>,
+    pub participants: Mutex<HashMap<TxnId, ParticipantEntry>>,
+    pub pending_replies: Mutex<HashMap<TxnId, Sender<Envelope<Msg>>>>,
+    pub decided: Mutex<HashMap<TxnId, Decision>>,
+    /// Transactions that have already been decided (or cleaned up) at this
+    /// site *as a participant*. Late copy-access requests and late lock
+    /// grants for these transactions are refused so they cannot resurrect a
+    /// participant entry that nobody will ever release.
+    pub finished: Mutex<std::collections::HashSet<TxnId>>,
+    /// In-doubt transactions found during crash recovery, waiting for a
+    /// status reply from their coordinator.
+    pub in_doubt: Mutex<HashMap<TxnId, Vec<(ItemId, Value, Version)>>>,
+    pub txn_seq: AtomicU64,
+    pub clock: TimestampGenerator,
+    pub shutdown: Arc<AtomicBool>,
+}
+
+impl SiteShared {
+    /// The CCP currently in force (replaced wholesale on crash recovery).
+    pub fn ccp(&self) -> Arc<dyn CcProtocol> {
+        self.ccp.read().clone()
+    }
+
+    /// Registers a reply channel for a coordinator worker.
+    pub fn register_reply_channel(&self, txn: TxnId, tx: Sender<Envelope<Msg>>) {
+        self.pending_replies.lock().insert(txn, tx);
+    }
+
+    /// Removes the reply channel when the coordinator worker finishes.
+    pub fn unregister_reply_channel(&self, txn: TxnId) {
+        self.pending_replies.lock().remove(&txn);
+    }
+
+    /// Sends a message from this site, ignoring network shutdown errors
+    /// (which only occur while the whole instance is being torn down).
+    pub fn send(&self, to: NodeId, msg: Msg) {
+        let _ = self.net.send(self.node, to, msg);
+    }
+
+    /// Ensures a participant entry exists for `txn` and returns its context.
+    fn ensure_participant(&self, txn: TxnId, ts: Timestamp, coordinator: NodeId) -> TxnContext {
+        let mut participants = self.participants.lock();
+        let entry = participants.entry(txn).or_insert_with(|| ParticipantEntry {
+            machine: Participant::new(txn, coordinator.as_site().unwrap_or(self.id), self.stack.acp),
+            ctx: TxnContext::new(txn, ts),
+            coordinator,
+            last_activity: Instant::now(),
+        });
+        entry.last_activity = Instant::now();
+        entry.ctx
+    }
+}
+
+/// Handle to a running Rainbow site.
+pub struct SiteHandle {
+    shared: Arc<SiteShared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl SiteHandle {
+    /// Spawns a site that first fetches its schema from the name server.
+    pub fn spawn(
+        id: SiteId,
+        stack: ProtocolStack,
+        net: NetHandle<Msg>,
+        mailbox: Receiver<Envelope<Msg>>,
+        metrics: Arc<SiteMetrics>,
+    ) -> RainbowResult<Self> {
+        let node = NodeId::Site(id);
+        // Ask the name server for the schema before serving anything.
+        let mut schema = None;
+        for _attempt in 0..10 {
+            net.send(node, NodeId::NameServer, Msg::NsGetSchema)?;
+            match mailbox.recv_timeout(Duration::from_millis(300)) {
+                Ok(envelope) => {
+                    if let Msg::NsSchema { database, .. } = envelope.payload {
+                        schema = Some(database);
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RainbowError::Network("site mailbox closed".into()))
+                }
+            }
+        }
+        let schema = schema.ok_or_else(|| {
+            RainbowError::Timeout(format!("site {id} could not fetch the schema"))
+        })?;
+        Ok(Self::spawn_with_schema(id, stack, schema, net, mailbox, metrics))
+    }
+
+    /// Spawns a site with an explicitly provided schema (no name-server
+    /// round trip); used by tests and by recovery.
+    pub fn spawn_with_schema(
+        id: SiteId,
+        stack: ProtocolStack,
+        schema: DatabaseSchema,
+        net: NetHandle<Msg>,
+        mailbox: Receiver<Envelope<Msg>>,
+        metrics: Arc<SiteMetrics>,
+    ) -> Self {
+        let storage = SiteStorage::new(id);
+        let local_items: Vec<(ItemId, Value)> = schema
+            .items
+            .iter()
+            .filter(|spec| {
+                schema
+                    .replication
+                    .placement(&spec.id)
+                    .map(|p| p.holds_copy(id))
+                    .unwrap_or(false)
+            })
+            .map(|spec| (spec.id.clone(), spec.initial.clone()))
+            .collect();
+        storage.initialize(&local_items);
+
+        let ccp = make_ccp(stack.ccp, stack.deadlock, stack.lock_wait_timeout);
+        let rcp = make_rcp(stack.rcp);
+        let shared = Arc::new(SiteShared {
+            id,
+            node: NodeId::Site(id),
+            stack,
+            storage,
+            ccp: RwLock::new(ccp),
+            rcp,
+            schema: RwLock::new(schema),
+            net,
+            metrics,
+            participants: Mutex::new(HashMap::new()),
+            pending_replies: Mutex::new(HashMap::new()),
+            decided: Mutex::new(HashMap::new()),
+            finished: Mutex::new(std::collections::HashSet::new()),
+            in_doubt: Mutex::new(HashMap::new()),
+            txn_seq: AtomicU64::new(0),
+            clock: TimestampGenerator::new(id),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name(format!("rainbow-site-{}", id.0))
+            .spawn(move || dispatcher_loop(dispatcher_shared, mailbox))
+            .expect("failed to spawn site dispatcher");
+
+        SiteHandle {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// The site's id.
+    pub fn id(&self) -> SiteId {
+        self.shared.id
+    }
+
+    /// The site's metrics handle.
+    pub fn metrics(&self) -> Arc<SiteMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// A snapshot of the committed database state at this site.
+    pub fn database_snapshot(&self) -> Vec<(ItemId, Value, Version)> {
+        self.shared.storage.snapshot()
+    }
+
+    /// Number of transactions currently holding resources at this site's
+    /// CCP.
+    pub fn active_transactions(&self) -> usize {
+        self.shared.ccp().active_transactions()
+    }
+
+    /// Diagnostic view of the transactions still registered as participants
+    /// at this site: `(transaction, state, seconds since last activity)`.
+    /// Used by tests and operational tooling to spot transactions whose
+    /// coordinator disappeared.
+    pub fn lingering_participants(&self) -> Vec<(TxnId, String, f64)> {
+        self.shared
+            .participants
+            .lock()
+            .iter()
+            .map(|(txn, entry)| {
+                (
+                    *txn,
+                    format!("{:?}", entry.machine.state()),
+                    entry.last_activity.elapsed().as_secs_f64(),
+                )
+            })
+            .collect()
+    }
+
+    /// Simulates the volatile-state loss of a crash and immediately runs
+    /// recovery: the committed state is rebuilt from the write-ahead log,
+    /// concurrency-control state is reset, and status queries are sent to
+    /// the coordinators of in-doubt transactions.
+    ///
+    /// The caller (normally the cluster / fault injector) is responsible for
+    /// marking the site crashed in the [`rainbow_net::FaultController`]
+    /// before, and recovering it after, so that no messages flow while the
+    /// site is "down".
+    pub fn recover_from_crash(&self) {
+        let shared = &self.shared;
+        // Volatile state is gone.
+        shared.storage.crash();
+        let outcome = shared.storage.recover();
+        // Fresh CCP: every lock and timestamp table entry was volatile.
+        *shared.ccp.write() = make_ccp(
+            shared.stack.ccp,
+            shared.stack.deadlock,
+            shared.stack.lock_wait_timeout,
+        );
+        shared.participants.lock().clear();
+        // Ask each in-doubt transaction's coordinator for the decision.
+        let mut in_doubt = shared.in_doubt.lock();
+        in_doubt.clear();
+        for txn in outcome.in_doubt {
+            in_doubt.insert(txn.txn, txn.writes);
+            shared.send(
+                NodeId::Site(txn.txn.home),
+                Msg::AcpStatusQuery { txn: txn.txn },
+            );
+        }
+    }
+
+    /// Stops the dispatcher thread. Outstanding transaction workers finish
+    /// on their own (bounded by the protocol timeouts).
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.dispatcher.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SiteHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How long a participant entry may sit idle before the janitor aborts it
+/// (its coordinator is presumed dead).
+fn janitor_horizon(stack: &ProtocolStack) -> Duration {
+    (stack.commit_timeout + stack.quorum_timeout + stack.lock_wait_timeout) * 3
+}
+
+fn dispatcher_loop(shared: Arc<SiteShared>, mailbox: Receiver<Envelope<Msg>>) {
+    let mut last_janitor = Instant::now();
+    let janitor_every = Duration::from_millis(200);
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match mailbox.recv_timeout(Duration::from_millis(25)) {
+            Ok(envelope) => dispatch(&shared, envelope),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if last_janitor.elapsed() >= janitor_every {
+            last_janitor = Instant::now();
+            run_janitor(&shared);
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
+    // Responses go straight to the coordinator worker waiting for them.
+    if envelope.payload.is_coordinator_response() {
+        if let Some(txn) = envelope.payload.txn() {
+            let pending = shared.pending_replies.lock();
+            if let Some(tx) = pending.get(&txn) {
+                let _ = tx.send(envelope);
+            }
+        }
+        return;
+    }
+
+    match envelope.payload.clone() {
+        Msg::SubmitTxn { request, spec } => {
+            SiteMetrics::bump(&shared.metrics.home_transactions);
+            let worker_shared = Arc::clone(shared);
+            let client = envelope.from;
+            // "The site dedicates one thread to process it."
+            let _ = std::thread::Builder::new()
+                .name(format!("rainbow-txn-{}", shared.id.0))
+                .spawn(move || run_transaction(worker_shared, spec, client, request));
+        }
+        Msg::CopyRead {
+            txn,
+            ts,
+            item,
+            for_update,
+        } => {
+            SiteMetrics::bump(&shared.metrics.served_requests);
+            // Register the participant entry *inline* so a decision that is
+            // already queued behind this request finds the entry and cleans
+            // it up; the (possibly blocking) lock work happens off-thread.
+            shared.ensure_participant(txn, ts, envelope.from);
+            let handler_shared = Arc::clone(shared);
+            let from = envelope.from;
+            // May block on a lock: never handle on the dispatcher thread.
+            let _ = std::thread::Builder::new()
+                .name("rainbow-copy-read".into())
+                .spawn(move || {
+                    handle_copy_access(handler_shared, from, txn, ts, item, CopyAccess::Read {
+                        for_update,
+                    })
+                });
+        }
+        Msg::CopyPrewrite { txn, ts, item } => {
+            SiteMetrics::bump(&shared.metrics.served_requests);
+            shared.ensure_participant(txn, ts, envelope.from);
+            let handler_shared = Arc::clone(shared);
+            let from = envelope.from;
+            let _ = std::thread::Builder::new()
+                .name("rainbow-copy-prewrite".into())
+                .spawn(move || {
+                    handle_copy_access(handler_shared, from, txn, ts, item, CopyAccess::Prewrite)
+                });
+        }
+        Msg::AcpPrepare { txn, ts, writes } => {
+            SiteMetrics::bump(&shared.metrics.served_requests);
+            handle_prepare(shared, envelope.from, txn, ts, writes);
+        }
+        Msg::AcpPreCommit { txn } => {
+            handle_precommit(shared, envelope.from, txn);
+        }
+        Msg::AcpDecision { txn, decision } => {
+            handle_decision(shared, envelope.from, txn, decision);
+        }
+        Msg::AcpStatusQuery { txn } => {
+            let decision = shared.decided.lock().get(&txn).copied();
+            shared.send(envelope.from, Msg::AcpStatusReply { txn, decision });
+        }
+        Msg::AcpStatusReply { txn, decision } => {
+            handle_status_reply(shared, txn, decision);
+        }
+        Msg::NsSchema { database, .. } => {
+            // A late or refreshed schema push: adopt it.
+            *shared.schema.write() = database;
+        }
+        // Messages a site never receives (or that only matter to clients /
+        // the name server) are ignored.
+        Msg::TxnDone { .. } | Msg::NsGetSchema | Msg::CopyReply { .. } | Msg::AcpVote { .. }
+        | Msg::AcpPreCommitAck { .. } | Msg::AcpAck { .. } => {}
+    }
+}
+
+/// The kind of copy access requested by the RCP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyAccess {
+    /// A plain read (shared access).
+    Read {
+        /// Read on behalf of a read-modify-write: take write access first so
+        /// no shared→exclusive upgrade is needed later.
+        for_update: bool,
+    },
+    /// A pre-write (exclusive access, returns the version only).
+    Prewrite,
+}
+
+/// Handles a copy read or pre-write request through the CCP.
+fn handle_copy_access(
+    shared: Arc<SiteShared>,
+    from: NodeId,
+    txn: TxnId,
+    ts: Timestamp,
+    item: ItemId,
+    access: CopyAccess,
+) {
+    shared.clock.observe(ts);
+    // Refuse accesses for transactions that already finished at this site
+    // (their decision raced ahead of this request); granting would leak a
+    // lock nobody releases.
+    if shared.finished.lock().contains(&txn) {
+        shared.send(
+            from,
+            Msg::CopyReply {
+                txn,
+                item: item.clone(),
+                prewrite: access == CopyAccess::Prewrite,
+                result: CopyAccessResult::Denied(
+                    rainbow_common::txn::AbortCause::CcpLockConflict {
+                        item: item.clone(),
+                        holder: None,
+                    },
+                ),
+            },
+        );
+        return;
+    }
+    let ctx = shared.ensure_participant(txn, ts, from);
+    let is_prewrite_reply = access == CopyAccess::Prewrite;
+    let result = match shared.storage.read(&item) {
+        Err(_) => CopyAccessResult::NoSuchCopy,
+        Ok(current) => {
+            let ccp = shared.ccp();
+            let decision = match access {
+                CopyAccess::Prewrite => ccp.prewrite(&ctx, &item, current.clone()),
+                CopyAccess::Read { for_update: false } => ccp.read(&ctx, &item, current.clone()),
+                CopyAccess::Read { for_update: true } => {
+                    // Write access first (exclusive lock / pre-write
+                    // validation), then the read; this avoids the classic
+                    // shared→exclusive upgrade deadlock for read-modify-write
+                    // operations.
+                    match ccp.prewrite(&ctx, &item, current.clone()) {
+                        CcDecision::Granted { .. } => ccp.read(&ctx, &item, current.clone()),
+                        rejected => rejected,
+                    }
+                }
+            };
+            match decision {
+                CcDecision::Granted { value_override } => {
+                    // The CCP call may have blocked (2PL lock wait). Two
+                    // things follow. First, the transaction may have been
+                    // decided (committed or aborted) while we were waiting —
+                    // its participant entry is gone and nobody will ever
+                    // release what we just acquired, so release it right now
+                    // and refuse the access. Second, re-read the committed
+                    // state *after* the grant so the value reflects every
+                    // transaction serialized before us.
+                    let still_active = {
+                        let mut participants = shared.participants.lock();
+                        match participants.get_mut(&txn) {
+                            Some(entry) => {
+                                entry.last_activity = Instant::now();
+                                true
+                            }
+                            None => false,
+                        }
+                    };
+                    if !still_active {
+                        shared.ccp().abort(&ctx);
+                        CopyAccessResult::Denied(
+                            rainbow_common::txn::AbortCause::CcpLockConflict {
+                                item: item.clone(),
+                                holder: None,
+                            },
+                        )
+                    } else {
+                        let (value, version) = match value_override {
+                            Some(pair) => pair,
+                            None => shared.storage.read(&item).unwrap_or(current),
+                        };
+                        CopyAccessResult::Granted {
+                            value: if is_prewrite_reply { None } else { Some(value) },
+                            version,
+                        }
+                    }
+                }
+                CcDecision::Rejected(cause) => {
+                    SiteMetrics::bump(&shared.metrics.ccp_rejections);
+                    CopyAccessResult::Denied(cause)
+                }
+            }
+        }
+    };
+    shared.send(
+        from,
+        Msg::CopyReply {
+            txn,
+            item,
+            prewrite: is_prewrite_reply,
+            result,
+        },
+    );
+}
+
+/// Handles the PREPARE request of the commit protocol.
+fn handle_prepare(
+    shared: &Arc<SiteShared>,
+    from: NodeId,
+    txn: TxnId,
+    ts: Timestamp,
+    writes: Vec<(ItemId, Value, Version)>,
+) {
+    shared.clock.observe(ts);
+    let ctx = shared.ensure_participant(txn, ts, from);
+    let ccp = shared.ccp();
+    let can_commit = ccp.validate(&ctx).is_granted();
+    if can_commit {
+        for (item, value, version) in &writes {
+            shared
+                .storage
+                .stage_write(txn, item.clone(), value.clone(), *version);
+        }
+        // Force the prepare record before voting YES.
+        shared.storage.prepare(txn);
+    }
+
+    let action = {
+        let mut participants = shared.participants.lock();
+        let entry = participants.get_mut(&txn).expect("entry ensured above");
+        entry.last_activity = Instant::now();
+        entry.machine.on_prepare(can_commit)
+    };
+    match action {
+        ParticipantAction::SendVote(vote) => {
+            if vote == Vote::Yes {
+                SiteMetrics::bump(&shared.metrics.votes_yes);
+            } else {
+                SiteMetrics::bump(&shared.metrics.votes_no);
+                // Voting NO releases local resources immediately.
+                shared.storage.abort(txn);
+                ccp.abort(&ctx);
+            }
+            shared.send(from, Msg::AcpVote { txn, vote });
+        }
+        _ => {}
+    }
+}
+
+/// Handles the 3PC PRE-COMMIT message.
+fn handle_precommit(shared: &Arc<SiteShared>, from: NodeId, txn: TxnId) {
+    let action = {
+        let mut participants = shared.participants.lock();
+        match participants.get_mut(&txn) {
+            Some(entry) => {
+                entry.last_activity = Instant::now();
+                entry.machine.on_precommit()
+            }
+            None => ParticipantAction::Wait,
+        }
+    };
+    if action == ParticipantAction::SendPreCommitAck {
+        shared.send(from, Msg::AcpPreCommitAck { txn });
+    }
+}
+
+/// Handles the coordinator's decision.
+fn handle_decision(shared: &Arc<SiteShared>, from: NodeId, txn: TxnId, decision: Decision) {
+    shared.finished.lock().insert(txn);
+    let entry = shared.participants.lock().remove(&txn);
+    match entry {
+        Some(mut entry) => {
+            let action = entry.machine.on_decision(decision);
+            if let ParticipantAction::ApplyAndAck(applied) = action {
+                apply_decision(shared, &entry.ctx, applied);
+            }
+            shared.send(from, Msg::AcpAck { txn });
+        }
+        None => {
+            // We have no record (already applied, cleaned up, or we crashed
+            // and recovered): acknowledge so the coordinator can finish.
+            shared.send(from, Msg::AcpAck { txn });
+        }
+    }
+}
+
+/// Handles the reply to a status query sent for an in-doubt transaction (or
+/// by a blocked participant).
+fn handle_status_reply(shared: &Arc<SiteShared>, txn: TxnId, decision: Option<Decision>) {
+    // Presumed abort: no decision on record means abort.
+    let decision = decision.unwrap_or(Decision::Abort);
+
+    // Case 1: an in-doubt transaction from crash recovery.
+    if let Some(writes) = shared.in_doubt.lock().remove(&txn) {
+        match decision {
+            Decision::Commit => shared.storage.commit_writes(txn, writes),
+            Decision::Abort => shared.storage.abort(txn),
+        }
+        return;
+    }
+
+    // Case 2: a blocked (prepared) participant resolving via its coordinator.
+    let entry = shared.participants.lock().remove(&txn);
+    if let Some(mut entry) = entry {
+        shared.finished.lock().insert(txn);
+        if let ParticipantAction::ApplyAndAck(applied) = entry.machine.on_decision(decision) {
+            apply_decision(shared, &entry.ctx, applied);
+        }
+    }
+}
+
+/// Applies a commit/abort decision to storage and the CCP.
+fn apply_decision(shared: &Arc<SiteShared>, ctx: &TxnContext, decision: Decision) {
+    let ccp = shared.ccp();
+    match decision {
+        Decision::Commit => {
+            let writes = shared.storage.commit(ctx.id);
+            ccp.commit(ctx, &writes);
+        }
+        Decision::Abort => {
+            shared.storage.abort(ctx.id);
+            ccp.abort(ctx);
+        }
+    }
+}
+
+/// Cleans up transactions whose coordinator never came back, so their locks
+/// do not wedge the site forever. Prepared participants ask the coordinator
+/// for the decision (cooperative termination); working participants are
+/// aborted unilaterally.
+fn run_janitor(shared: &Arc<SiteShared>) {
+    let horizon = janitor_horizon(&shared.stack);
+    let now = Instant::now();
+    let mut stale_working: Vec<(TxnId, TxnContext)> = Vec::new();
+    let mut stale_prepared: Vec<(TxnId, NodeId)> = Vec::new();
+    {
+        let mut participants = shared.participants.lock();
+        participants.retain(|txn, entry| {
+            if now.duration_since(entry.last_activity) < horizon {
+                return true;
+            }
+            match entry.machine.state() {
+                ParticipantState::Working => {
+                    stale_working.push((*txn, entry.ctx));
+                    false
+                }
+                ParticipantState::Prepared | ParticipantState::PreCommitted => {
+                    // Keep the entry (still blocked / uncertain) but ask the
+                    // coordinator what happened; refresh the activity stamp so
+                    // we do not spam queries every janitor pass.
+                    stale_prepared.push((*txn, entry.coordinator));
+                    entry.last_activity = Instant::now();
+                    true
+                }
+                ParticipantState::Committed | ParticipantState::Aborted => false,
+            }
+        });
+    }
+    for (txn, ctx) in stale_working {
+        SiteMetrics::bump(&shared.metrics.janitor_cleanups);
+        shared.finished.lock().insert(txn);
+        apply_decision(shared, &ctx, Decision::Abort);
+    }
+    for (txn, coordinator) in stale_prepared {
+        shared.send(coordinator, Msg::AcpStatusQuery { txn });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_net::{NetworkConfig, SimNetwork};
+
+    fn build_site(
+        net: &SimNetwork<Msg>,
+        id: u32,
+        schema: &DatabaseSchema,
+        stack: ProtocolStack,
+    ) -> SiteHandle {
+        let mailbox = net.register(NodeId::site(id));
+        SiteHandle::spawn_with_schema(
+            SiteId(id),
+            stack,
+            schema.clone(),
+            net.handle(),
+            mailbox,
+            Arc::new(SiteMetrics::new()),
+        )
+    }
+
+    fn quick_stack() -> ProtocolStack {
+        ProtocolStack::default()
+            .with_lock_wait_timeout(Duration::from_millis(100))
+            .with_commit_timeout(Duration::from_millis(300))
+            .with_quorum_timeout(Duration::from_millis(300))
+    }
+
+    fn schema_for(sites: &[SiteId]) -> DatabaseSchema {
+        DatabaseSchema::uniform(4, 100, sites, sites.len()).unwrap()
+    }
+
+    #[test]
+    fn site_initializes_only_its_own_copies() {
+        let net = SimNetwork::<Msg>::new(NetworkConfig::perfect());
+        let sites: Vec<SiteId> = vec![SiteId(0), SiteId(1)];
+        // Items replicated only on site 0.
+        let mut schema = DatabaseSchema::new();
+        schema.declare(
+            "only-on-0",
+            1i64,
+            rainbow_common::config::ItemPlacement::majority(vec![SiteId(0)]),
+        );
+        schema.declare(
+            "everywhere",
+            2i64,
+            rainbow_common::config::ItemPlacement::majority(sites.clone()),
+        );
+        let s0 = build_site(&net, 0, &schema, quick_stack());
+        let s1 = build_site(&net, 1, &schema, quick_stack());
+        assert_eq!(s0.database_snapshot().len(), 2);
+        assert_eq!(s1.database_snapshot().len(), 1);
+        assert_eq!(s0.id(), SiteId(0));
+        assert_eq!(s1.active_transactions(), 0);
+    }
+
+    #[test]
+    fn copy_read_request_is_served_through_ccp() {
+        let net = SimNetwork::<Msg>::new(NetworkConfig::perfect());
+        let sites = vec![SiteId(0)];
+        let schema = schema_for(&sites);
+        let _site = build_site(&net, 0, &schema, quick_stack());
+
+        let client = NodeId::Client(0);
+        let client_mailbox = net.register(client);
+        let txn = TxnId::new(SiteId(9), 1);
+        net.handle()
+            .send(
+                client,
+                NodeId::site(0),
+                Msg::CopyRead {
+                    txn,
+                    ts: Timestamp::new(1, 9),
+                    item: ItemId::new("x0"),
+                    for_update: false,
+                },
+            )
+            .unwrap();
+        let reply = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .expect("no copy reply");
+        match reply.payload {
+            Msg::CopyReply {
+                txn: t,
+                prewrite,
+                result: CopyAccessResult::Granted { value, version },
+                ..
+            } => {
+                assert_eq!(t, txn);
+                assert!(!prewrite);
+                assert_eq!(value, Some(Value::Int(100)));
+                assert_eq!(version, Version(0));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_access_to_unknown_item_reports_no_such_copy() {
+        let net = SimNetwork::<Msg>::new(NetworkConfig::perfect());
+        let sites = vec![SiteId(0)];
+        let schema = schema_for(&sites);
+        let _site = build_site(&net, 0, &schema, quick_stack());
+        let client = NodeId::Client(0);
+        let client_mailbox = net.register(client);
+        net.handle()
+            .send(
+                client,
+                NodeId::site(0),
+                Msg::CopyPrewrite {
+                    txn: TxnId::new(SiteId(9), 1),
+                    ts: Timestamp::new(1, 9),
+                    item: ItemId::new("missing"),
+                },
+            )
+            .unwrap();
+        let reply = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .expect("no reply");
+        assert!(matches!(
+            reply.payload,
+            Msg::CopyReply {
+                result: CopyAccessResult::NoSuchCopy,
+                prewrite: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn prepare_and_commit_install_writes() {
+        let net = SimNetwork::<Msg>::new(NetworkConfig::perfect());
+        let sites = vec![SiteId(0)];
+        let schema = schema_for(&sites);
+        let site = build_site(&net, 0, &schema, quick_stack());
+        let client = NodeId::Client(0);
+        let client_mailbox = net.register(client);
+        let txn = TxnId::new(SiteId(9), 1);
+        let ts = Timestamp::new(5, 9);
+
+        // Pre-write through the CCP first (as the RCP would).
+        net.handle()
+            .send(
+                client,
+                NodeId::site(0),
+                Msg::CopyPrewrite {
+                    txn,
+                    ts,
+                    item: ItemId::new("x1"),
+                },
+            )
+            .unwrap();
+        let _ = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+
+        // Prepare with the write payload.
+        net.handle()
+            .send(
+                client,
+                NodeId::site(0),
+                Msg::AcpPrepare {
+                    txn,
+                    ts,
+                    writes: vec![(ItemId::new("x1"), Value::Int(777), Version(1))],
+                },
+            )
+            .unwrap();
+        let vote = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        assert!(matches!(
+            vote.payload,
+            Msg::AcpVote {
+                vote: Vote::Yes,
+                ..
+            }
+        ));
+
+        // Decide commit.
+        net.handle()
+            .send(client, NodeId::site(0), Msg::AcpDecision { txn, decision: Decision::Commit })
+            .unwrap();
+        let ack = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        assert!(matches!(ack.payload, Msg::AcpAck { .. }));
+
+        let snapshot = site.database_snapshot();
+        assert!(snapshot.contains(&(ItemId::new("x1"), Value::Int(777), Version(1))));
+        assert_eq!(site.active_transactions(), 0, "locks must be released");
+    }
+
+    #[test]
+    fn decision_for_unknown_transaction_is_acked_idempotently() {
+        let net = SimNetwork::<Msg>::new(NetworkConfig::perfect());
+        let sites = vec![SiteId(0)];
+        let schema = schema_for(&sites);
+        let _site = build_site(&net, 0, &schema, quick_stack());
+        let client = NodeId::Client(0);
+        let client_mailbox = net.register(client);
+        net.handle()
+            .send(
+                client,
+                NodeId::site(0),
+                Msg::AcpDecision {
+                    txn: TxnId::new(SiteId(9), 42),
+                    decision: Decision::Abort,
+                },
+            )
+            .unwrap();
+        let ack = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        assert!(matches!(ack.payload, Msg::AcpAck { .. }));
+    }
+
+    #[test]
+    fn status_query_answers_from_the_decision_log() {
+        let net = SimNetwork::<Msg>::new(NetworkConfig::perfect());
+        let sites = vec![SiteId(0)];
+        let schema = schema_for(&sites);
+        let site = build_site(&net, 0, &schema, quick_stack());
+        let txn = TxnId::new(SiteId(0), 7);
+        site.shared.decided.lock().insert(txn, Decision::Commit);
+
+        let client = NodeId::Client(0);
+        let client_mailbox = net.register(client);
+        net.handle()
+            .send(client, NodeId::site(0), Msg::AcpStatusQuery { txn })
+            .unwrap();
+        let reply = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        assert!(matches!(
+            reply.payload,
+            Msg::AcpStatusReply {
+                decision: Some(Decision::Commit),
+                ..
+            }
+        ));
+
+        // Unknown transaction: presumed abort (no decision on record).
+        net.handle()
+            .send(
+                client,
+                NodeId::site(0),
+                Msg::AcpStatusQuery {
+                    txn: TxnId::new(SiteId(0), 999),
+                },
+            )
+            .unwrap();
+        let reply = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        assert!(matches!(
+            reply.payload,
+            Msg::AcpStatusReply { decision: None, .. }
+        ));
+    }
+
+    #[test]
+    fn crash_recovery_restores_committed_state_and_resets_ccp() {
+        let net = SimNetwork::<Msg>::new(NetworkConfig::perfect());
+        let sites = vec![SiteId(0)];
+        let schema = schema_for(&sites);
+        let site = build_site(&net, 0, &schema, quick_stack());
+        // Commit a write directly through storage (simulating a completed
+        // transaction), then crash and recover.
+        let txn = TxnId::new(SiteId(0), 1);
+        site.shared
+            .storage
+            .stage_write(txn, ItemId::new("x0"), Value::Int(5), Version(1));
+        site.shared.storage.prepare(txn);
+        site.shared.storage.commit(txn);
+
+        site.recover_from_crash();
+        let snapshot = site.database_snapshot();
+        assert!(snapshot.contains(&(ItemId::new("x0"), Value::Int(5), Version(1))));
+        assert_eq!(site.active_transactions(), 0);
+    }
+}

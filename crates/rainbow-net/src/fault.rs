@@ -1,0 +1,229 @@
+//! Fault and recovery injection.
+//!
+//! The Rainbow GUI lets the user "inject network and site failures and
+//! recoveries" while a workload is running; [`FaultController`] is the
+//! programmatic version of that panel. The controller is shared between the
+//! network simulator (which consults it on every send/delivery) and the
+//! Session API / experiment scripts (which mutate it).
+
+use crate::node::NodeId;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared fault state: crashed nodes and network partitions.
+///
+/// A *crash* makes a node stop sending and receiving: messages to and from
+/// it are dropped until it recovers. A *partition* assigns nodes to groups;
+/// messages crossing group boundaries are dropped until the partition heals.
+/// Nodes not mentioned in the partition map remain in the default group 0.
+#[derive(Debug, Default)]
+pub struct FaultController {
+    crashed: RwLock<BTreeSet<NodeId>>,
+    partition: RwLock<BTreeMap<NodeId, u32>>,
+    /// Epoch bumped on every crash, used by sites to detect that they were
+    /// restarted (volatile state must be discarded on recovery).
+    crash_epochs: RwLock<BTreeMap<NodeId, u64>>,
+    injected_crashes: AtomicU64,
+    injected_recoveries: AtomicU64,
+    injected_partitions: AtomicU64,
+}
+
+impl FaultController {
+    /// A controller with no faults injected.
+    pub fn new() -> Self {
+        FaultController::default()
+    }
+
+    /// Crashes a node. Messages to/from it are dropped until
+    /// [`FaultController::recover`] is called. Crashing an already-crashed
+    /// node is a no-op (the epoch is not bumped twice).
+    pub fn crash(&self, node: NodeId) {
+        let mut crashed = self.crashed.write();
+        if crashed.insert(node) {
+            *self.crash_epochs.write().entry(node).or_insert(0) += 1;
+            self.injected_crashes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Recovers a crashed node. Recovering a live node is a no-op.
+    pub fn recover(&self, node: NodeId) {
+        let mut crashed = self.crashed.write();
+        if crashed.remove(&node) {
+            self.injected_recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.read().contains(&node)
+    }
+
+    /// Currently crashed nodes.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        self.crashed.read().iter().copied().collect()
+    }
+
+    /// Number of times `node` has crashed so far (its crash epoch).
+    pub fn crash_epoch(&self, node: NodeId) -> u64 {
+        self.crash_epochs.read().get(&node).copied().unwrap_or(0)
+    }
+
+    /// Splits the network: every node in `groups[i]` joins partition group
+    /// `i + 1`; unmentioned nodes stay in group 0. Any previous partition is
+    /// replaced.
+    pub fn partition(&self, groups: &[Vec<NodeId>]) {
+        let mut map = BTreeMap::new();
+        for (i, group) in groups.iter().enumerate() {
+            for node in group {
+                map.insert(*node, i as u32 + 1);
+            }
+        }
+        *self.partition.write() = map;
+        self.injected_partitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Isolates a single node from everyone else (a common experiment step).
+    pub fn isolate(&self, node: NodeId) {
+        self.partition(&[vec![node]]);
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partition(&self) {
+        self.partition.write().clear();
+    }
+
+    /// Whether a partition currently separates `a` from `b`.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let map = self.partition.read();
+        if map.is_empty() {
+            return false;
+        }
+        let ga = map.get(&a).copied().unwrap_or(0);
+        let gb = map.get(&b).copied().unwrap_or(0);
+        ga != gb
+    }
+
+    /// Whether `from` can currently reach `to` (neither crashed nor
+    /// partitioned apart).
+    pub fn can_communicate(&self, from: NodeId, to: NodeId) -> bool {
+        !self.is_crashed(from) && !self.is_crashed(to) && !self.is_partitioned(from, to)
+    }
+
+    /// Clears every fault (crashes and partitions).
+    pub fn clear(&self) {
+        self.crashed.write().clear();
+        self.partition.write().clear();
+    }
+
+    /// Total crash events injected so far.
+    pub fn injected_crashes(&self) -> u64 {
+        self.injected_crashes.load(Ordering::Relaxed)
+    }
+
+    /// Total recovery events injected so far.
+    pub fn injected_recoveries(&self) -> u64 {
+        self.injected_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Total partition events injected so far.
+    pub fn injected_partitions(&self) -> u64 {
+        self.injected_partitions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_and_recover_cycle() {
+        let f = FaultController::new();
+        let s0 = NodeId::site(0);
+        assert!(!f.is_crashed(s0));
+        assert!(f.can_communicate(s0, NodeId::site(1)));
+
+        f.crash(s0);
+        assert!(f.is_crashed(s0));
+        assert_eq!(f.crashed_nodes(), vec![s0]);
+        assert!(!f.can_communicate(s0, NodeId::site(1)));
+        assert!(!f.can_communicate(NodeId::site(1), s0));
+        assert_eq!(f.crash_epoch(s0), 1);
+
+        // Double crash does not bump the epoch or the counter.
+        f.crash(s0);
+        assert_eq!(f.crash_epoch(s0), 1);
+        assert_eq!(f.injected_crashes(), 1);
+
+        f.recover(s0);
+        assert!(!f.is_crashed(s0));
+        assert!(f.can_communicate(s0, NodeId::site(1)));
+        assert_eq!(f.injected_recoveries(), 1);
+
+        // Recovering a live node is a no-op.
+        f.recover(s0);
+        assert_eq!(f.injected_recoveries(), 1);
+
+        // A second crash bumps the epoch.
+        f.crash(s0);
+        assert_eq!(f.crash_epoch(s0), 2);
+    }
+
+    #[test]
+    fn partitions_separate_groups_only() {
+        let f = FaultController::new();
+        let (a, b, c, d) = (
+            NodeId::site(0),
+            NodeId::site(1),
+            NodeId::site(2),
+            NodeId::site(3),
+        );
+        f.partition(&[vec![a, b], vec![c]]);
+        // a and b are together.
+        assert!(!f.is_partitioned(a, b));
+        assert!(f.can_communicate(a, b));
+        // c is alone in its group.
+        assert!(f.is_partitioned(a, c));
+        assert!(f.is_partitioned(b, c));
+        // d was not mentioned: it sits in group 0, separated from all named groups.
+        assert!(f.is_partitioned(a, d));
+        assert!(f.is_partitioned(c, d));
+        // A node is never partitioned from itself.
+        assert!(!f.is_partitioned(a, a));
+        assert_eq!(f.injected_partitions(), 1);
+
+        f.heal_partition();
+        assert!(!f.is_partitioned(a, c));
+        assert!(f.can_communicate(a, d));
+    }
+
+    #[test]
+    fn isolate_cuts_one_node_off() {
+        let f = FaultController::new();
+        let ns = NodeId::NameServer;
+        f.isolate(ns);
+        assert!(f.is_partitioned(ns, NodeId::site(0)));
+        assert!(!f.is_partitioned(NodeId::site(0), NodeId::site(1)));
+        assert!(!f.is_crashed(ns), "isolation is not a crash");
+    }
+
+    #[test]
+    fn clear_removes_all_faults() {
+        let f = FaultController::new();
+        f.crash(NodeId::site(0));
+        f.partition(&[vec![NodeId::site(1)]]);
+        f.clear();
+        assert!(!f.is_crashed(NodeId::site(0)));
+        assert!(!f.is_partitioned(NodeId::site(1), NodeId::site(2)));
+    }
+
+    #[test]
+    fn empty_partition_map_means_fully_connected() {
+        let f = FaultController::new();
+        assert!(!f.is_partitioned(NodeId::site(0), NodeId::Client(1)));
+        assert!(f.can_communicate(NodeId::NameServer, NodeId::Client(0)));
+    }
+}

@@ -1,0 +1,614 @@
+//! The in-process simulated network.
+//!
+//! [`SimNetwork`] connects Rainbow nodes (sites, the name server, clients)
+//! with unbounded channels and a background *delivery thread* that applies
+//! the configured latency model, random loss, partitions and crash faults to
+//! every message. All traffic is counted in [`NetworkCounters`] so
+//! experiments can report message costs exactly.
+//!
+//! The payload type is generic: `rainbow-core` instantiates the network with
+//! its protocol message enum. The only requirement is the [`NetMessage`]
+//! trait, which labels messages with a kind (for per-kind counting) and an
+//! approximate size (for byte accounting).
+
+use crate::config::NetworkConfig;
+use crate::counters::NetworkCounters;
+use crate::fault::FaultController;
+use crate::node::NodeId;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use rainbow_common::rng::seeded_rng;
+use rainbow_common::{MessageId, RainbowError, RainbowResult};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Trait implemented by network payloads so the simulator can label and
+/// size-account them without knowing their concrete type.
+pub trait NetMessage: Send + Clone + 'static {
+    /// Short, stable label of the message kind (e.g. `"2PC_PREPARE"`).
+    fn kind(&self) -> &'static str;
+
+    /// Approximate serialized size in bytes (headers included), used only
+    /// for byte counters.
+    fn size_hint(&self) -> usize {
+        64
+    }
+}
+
+/// A message in flight: payload plus addressing metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Unique id assigned by the simulator.
+    pub id: MessageId,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// The payload.
+    pub payload: M,
+}
+
+/// A delivery scheduled for a future instant.
+struct ScheduledDelivery<M> {
+    deliver_at: Instant,
+    seq: u64,
+    envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for ScheduledDelivery<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for ScheduledDelivery<M> {}
+impl<M> PartialOrd for ScheduledDelivery<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for ScheduledDelivery<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+struct Shared<M: NetMessage> {
+    config: NetworkConfig,
+    faults: Arc<FaultController>,
+    counters: Arc<NetworkCounters>,
+    registry: RwLock<HashMap<NodeId, Sender<Envelope<M>>>>,
+    scheduler: Sender<ScheduledDelivery<M>>,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    rng: Mutex<StdRng>,
+    shutdown: AtomicBool,
+}
+
+impl<M: NetMessage> Shared<M> {
+    fn next_message_id(&self) -> MessageId {
+        MessageId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Hands the envelope to the receiver's channel if the receiver is still
+    /// registered and reachable.
+    fn deliver_now(&self, envelope: Envelope<M>) {
+        // Re-check faults at delivery time: the receiver may have crashed or
+        // been partitioned away while the message was "on the wire".
+        if self.faults.is_crashed(envelope.to) || self.faults.is_crashed(envelope.from) {
+            self.counters.record_dropped_crash();
+            return;
+        }
+        if self.faults.is_partitioned(envelope.from, envelope.to) {
+            self.counters.record_dropped_partition();
+            return;
+        }
+        let registry = self.registry.read();
+        if let Some(tx) = registry.get(&envelope.to) {
+            if tx.send(envelope).is_ok() {
+                self.counters.record_delivered();
+            }
+        }
+        // Unregistered destination: silently dropped (not counted as a fault
+        // drop — it is a configuration situation, e.g. a site not yet started).
+    }
+}
+
+/// A cloneable handle for sending messages through the simulator.
+pub struct NetHandle<M: NetMessage> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: NetMessage> Clone for NetHandle<M> {
+    fn clone(&self) -> Self {
+        NetHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M: NetMessage> NetHandle<M> {
+    /// Sends `payload` from `from` to `to`.
+    ///
+    /// The returned id identifies the message in traces; a successful return
+    /// does **not** mean the message will be delivered (it may be lost to
+    /// faults or random loss — exactly like UDP on a real network).
+    pub fn send(&self, from: NodeId, to: NodeId, payload: M) -> RainbowResult<MessageId> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return Err(RainbowError::Shutdown);
+        }
+        let id = shared.next_message_id();
+        let envelope = Envelope {
+            id,
+            from,
+            to,
+            payload,
+        };
+
+        // Loopback: a node talking to itself does not use the network.
+        if from == to && shared.config.loopback_is_free {
+            if !shared.faults.is_crashed(to) {
+                let registry = shared.registry.read();
+                if let Some(tx) = registry.get(&to) {
+                    let _ = tx.send(envelope);
+                }
+            }
+            return Ok(id);
+        }
+
+        shared
+            .counters
+            .record_sent(from, to, envelope.payload.kind(), envelope.payload.size_hint());
+
+        // Crash / partition checks at send time.
+        if shared.faults.is_crashed(from) || shared.faults.is_crashed(to) {
+            shared.counters.record_dropped_crash();
+            return Ok(id);
+        }
+        if shared.faults.is_partitioned(from, to) {
+            shared.counters.record_dropped_partition();
+            return Ok(id);
+        }
+
+        let link = shared.config.link(from, to);
+        let (lost, latency) = {
+            let mut rng = shared.rng.lock();
+            let lost = link.loss_probability > 0.0 && rng.gen::<f64>() < link.loss_probability;
+            let latency = link.latency.sample(&mut *rng);
+            (lost, latency)
+        };
+        if lost {
+            shared.counters.record_dropped_loss();
+            return Ok(id);
+        }
+
+        if latency.is_zero() {
+            shared.deliver_now(envelope);
+        } else {
+            let job = ScheduledDelivery {
+                deliver_at: Instant::now() + latency,
+                seq: shared.next_seq.fetch_add(1, Ordering::Relaxed),
+                envelope,
+            };
+            shared
+                .scheduler
+                .send(job)
+                .map_err(|_| RainbowError::Network("delivery thread stopped".into()))?;
+        }
+        Ok(id)
+    }
+
+    /// Broadcasts `payload` from `from` to every node in `targets`,
+    /// returning the number of sends attempted.
+    pub fn broadcast(
+        &self,
+        from: NodeId,
+        targets: impl IntoIterator<Item = NodeId>,
+        payload: M,
+    ) -> RainbowResult<usize> {
+        let mut sent = 0;
+        for to in targets {
+            self.send(from, to, payload.clone())?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+
+    /// The fault controller shared with this network.
+    pub fn faults(&self) -> Arc<FaultController> {
+        Arc::clone(&self.shared.faults)
+    }
+
+    /// The traffic counters shared with this network.
+    pub fn counters(&self) -> Arc<NetworkCounters> {
+        Arc::clone(&self.shared.counters)
+    }
+
+    /// The network configuration (immutable once the network is built).
+    pub fn config(&self) -> &NetworkConfig {
+        &self.shared.config
+    }
+}
+
+/// The simulated network: owns the delivery thread and the node registry.
+pub struct SimNetwork<M: NetMessage> {
+    shared: Arc<Shared<M>>,
+    delivery_thread: Option<JoinHandle<()>>,
+}
+
+impl<M: NetMessage> SimNetwork<M> {
+    /// Builds a network from a configuration, spawning the delivery thread.
+    pub fn new(config: NetworkConfig) -> Self {
+        Self::with_faults(config, Arc::new(FaultController::new()))
+    }
+
+    /// Builds a network sharing an externally created fault controller
+    /// (useful when an experiment script wants to hold the controller
+    /// independently of the network's lifetime).
+    pub fn with_faults(config: NetworkConfig, faults: Arc<FaultController>) -> Self {
+        let (tx, rx) = unbounded::<ScheduledDelivery<M>>();
+        let seed = config.seed;
+        let shared = Arc::new(Shared {
+            config,
+            faults,
+            counters: Arc::new(NetworkCounters::new()),
+            registry: RwLock::new(HashMap::new()),
+            scheduler: tx,
+            next_id: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            rng: Mutex::new(seeded_rng(seed)),
+            shutdown: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let delivery_thread = std::thread::Builder::new()
+            .name("rainbow-net-delivery".into())
+            .spawn(move || delivery_loop(thread_shared, rx))
+            .expect("failed to spawn network delivery thread");
+        SimNetwork {
+            shared,
+            delivery_thread: Some(delivery_thread),
+        }
+    }
+
+    /// Registers a node and returns the receiving end of its mailbox.
+    /// Registering the same node again replaces its mailbox (the old
+    /// receiver stops getting messages), which is how a site "reboots" after
+    /// a crash with an empty volatile queue.
+    pub fn register(&self, node: NodeId) -> Receiver<Envelope<M>> {
+        let (tx, rx) = unbounded();
+        self.shared.registry.write().insert(node, tx);
+        rx
+    }
+
+    /// Removes a node from the network.
+    pub fn unregister(&self, node: NodeId) {
+        self.shared.registry.write().remove(&node);
+    }
+
+    /// Nodes currently registered.
+    pub fn registered_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.shared.registry.read().keys().copied().collect();
+        nodes.sort();
+        nodes
+    }
+
+    /// A cloneable sending handle.
+    pub fn handle(&self) -> NetHandle<M> {
+        NetHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The fault controller.
+    pub fn faults(&self) -> Arc<FaultController> {
+        Arc::clone(&self.shared.faults)
+    }
+
+    /// The traffic counters.
+    pub fn counters(&self) -> Arc<NetworkCounters> {
+        Arc::clone(&self.shared.counters)
+    }
+
+    /// Stops the delivery thread. In-flight delayed messages are dropped.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Closing the scheduler channel wakes the delivery thread up.
+        // We cannot drop the sender (it lives in Shared), so we rely on the
+        // shutdown flag plus the timeout in the delivery loop.
+        if let Some(handle) = self.delivery_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M: NetMessage> Drop for SimNetwork<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The delivery loop: waits for scheduled messages and delivers them when
+/// their latency has elapsed.
+fn delivery_loop<M: NetMessage>(shared: Arc<Shared<M>>, rx: Receiver<ScheduledDelivery<M>>) {
+    let mut pending: BinaryHeap<Reverse<ScheduledDelivery<M>>> = BinaryHeap::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // How long until the next scheduled delivery?
+        let wait = pending
+            .peek()
+            .map(|Reverse(job)| {
+                job.deliver_at
+                    .saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(50))
+            })
+            .unwrap_or(Duration::from_millis(50));
+
+        match rx.recv_timeout(wait) {
+            Ok(job) => pending.push(Reverse(job)),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        // Drain any additional immediately available jobs.
+        while let Ok(job) = rx.try_recv() {
+            pending.push(Reverse(job));
+        }
+        // Deliver everything that is due.
+        let now = Instant::now();
+        while let Some(Reverse(job)) = pending.peek() {
+            if job.deliver_at > now {
+                break;
+            }
+            let Reverse(job) = pending.pop().expect("peeked job must exist");
+            shared.deliver_now(job.envelope);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LatencyModel, LinkConfig};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl NetMessage for TestMsg {
+        fn kind(&self) -> &'static str {
+            match self {
+                TestMsg::Ping(_) => "PING",
+                TestMsg::Pong(_) => "PONG",
+            }
+        }
+        fn size_hint(&self) -> usize {
+            16
+        }
+    }
+
+    fn recv_with_timeout(rx: &Receiver<Envelope<TestMsg>>, ms: u64) -> Option<Envelope<TestMsg>> {
+        rx.recv_timeout(Duration::from_millis(ms)).ok()
+    }
+
+    #[test]
+    fn messages_are_delivered_between_registered_nodes() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        let _rx_a = net.register(a);
+        let rx_b = net.register(b);
+        let handle = net.handle();
+
+        handle.send(a, b, TestMsg::Ping(1)).unwrap();
+        let env = recv_with_timeout(&rx_b, 500).expect("message not delivered");
+        assert_eq!(env.from, a);
+        assert_eq!(env.to, b);
+        assert_eq!(env.payload, TestMsg::Ping(1));
+        assert_eq!(net.counters().sent(), 1);
+        assert_eq!(net.counters().delivered(), 1);
+        assert_eq!(net.counters().kind("PING"), 1);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = NetworkConfig::default()
+            .with_default_link(LinkConfig::with_latency(LatencyModel::constant(
+                Duration::from_millis(30),
+            )))
+            .with_seed(1);
+        let net = SimNetwork::<TestMsg>::new(cfg);
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        let rx_b = net.register(b);
+        net.register(a);
+        let start = Instant::now();
+        net.handle().send(a, b, TestMsg::Ping(7)).unwrap();
+        let env = recv_with_timeout(&rx_b, 1000).expect("delayed message never arrived");
+        assert_eq!(env.payload, TestMsg::Ping(7));
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "message arrived too early: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn messages_to_crashed_nodes_are_dropped() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        net.register(a);
+        let rx_b = net.register(b);
+        net.faults().crash(b);
+        net.handle().send(a, b, TestMsg::Ping(1)).unwrap();
+        assert!(recv_with_timeout(&rx_b, 50).is_none());
+        assert_eq!(net.counters().dropped(), 1);
+        assert_eq!(net.counters().delivered(), 0);
+
+        net.faults().recover(b);
+        net.handle().send(a, b, TestMsg::Ping(2)).unwrap();
+        assert!(recv_with_timeout(&rx_b, 500).is_some());
+    }
+
+    #[test]
+    fn partitions_block_cross_group_traffic_until_healed() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        let c = NodeId::site(2);
+        net.register(a);
+        let rx_b = net.register(b);
+        let rx_c = net.register(c);
+        net.faults().partition(&[vec![a, b], vec![c]]);
+
+        let handle = net.handle();
+        handle.send(a, b, TestMsg::Ping(1)).unwrap();
+        handle.send(a, c, TestMsg::Ping(2)).unwrap();
+        assert!(recv_with_timeout(&rx_b, 500).is_some(), "same-group traffic must flow");
+        assert!(recv_with_timeout(&rx_c, 50).is_none(), "cross-group traffic must be blocked");
+
+        net.faults().heal_partition();
+        handle.send(a, c, TestMsg::Ping(3)).unwrap();
+        assert!(recv_with_timeout(&rx_c, 500).is_some());
+    }
+
+    #[test]
+    fn lossy_links_drop_roughly_the_configured_fraction() {
+        let cfg = NetworkConfig::default()
+            .with_default_link(LinkConfig::perfect().with_loss(0.5))
+            .with_seed(42);
+        let net = SimNetwork::<TestMsg>::new(cfg);
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        net.register(a);
+        let rx_b = net.register(b);
+        let handle = net.handle();
+        for i in 0..400 {
+            handle.send(a, b, TestMsg::Ping(i)).unwrap();
+        }
+        // Drain everything that made it through.
+        let mut received = 0;
+        while recv_with_timeout(&rx_b, 20).is_some() {
+            received += 1;
+        }
+        let dropped = net.counters().dropped();
+        assert_eq!(received + dropped as i32, 400);
+        assert!(
+            (120..=280).contains(&received),
+            "with 50% loss, received {received} of 400"
+        );
+    }
+
+    #[test]
+    fn loopback_is_free_and_uncounted() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        let rx_a = net.register(a);
+        net.handle().send(a, a, TestMsg::Ping(1)).unwrap();
+        assert!(recv_with_timeout(&rx_a, 500).is_some());
+        assert_eq!(net.counters().sent(), 0, "loopback must not be counted");
+    }
+
+    #[test]
+    fn broadcast_reaches_every_target() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let sender = NodeId::NameServer;
+        net.register(sender);
+        let receivers: Vec<_> = (0..4)
+            .map(|i| (NodeId::site(i), net.register(NodeId::site(i))))
+            .collect();
+        let n = net
+            .handle()
+            .broadcast(sender, receivers.iter().map(|(id, _)| *id), TestMsg::Pong(9))
+            .unwrap();
+        assert_eq!(n, 4);
+        for (_, rx) in &receivers {
+            let env = recv_with_timeout(rx, 500).expect("broadcast target missed the message");
+            assert_eq!(env.payload, TestMsg::Pong(9));
+        }
+        assert_eq!(net.counters().sent(), 4);
+    }
+
+    #[test]
+    fn unregistered_destination_is_silently_dropped() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        net.register(a);
+        // site1 never registered.
+        net.handle().send(a, NodeId::site(1), TestMsg::Ping(0)).unwrap();
+        assert_eq!(net.counters().sent(), 1);
+        assert_eq!(net.counters().delivered(), 0);
+    }
+
+    #[test]
+    fn re_registering_replaces_the_mailbox() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        net.register(a);
+        let rx_old = net.register(b);
+        let rx_new = net.register(b);
+        net.handle().send(a, b, TestMsg::Ping(5)).unwrap();
+        assert!(recv_with_timeout(&rx_new, 500).is_some());
+        assert!(recv_with_timeout(&rx_old, 50).is_none());
+        assert_eq!(net.registered_nodes(), vec![a, b]);
+        net.unregister(b);
+        assert_eq!(net.registered_nodes(), vec![a]);
+    }
+
+    #[test]
+    fn send_after_shutdown_fails() {
+        let mut net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        net.register(a);
+        net.register(b);
+        let handle = net.handle();
+        net.shutdown();
+        assert!(matches!(
+            handle.send(a, b, TestMsg::Ping(1)),
+            Err(RainbowError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn per_link_override_applies_to_one_direction_only() {
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        let cfg = NetworkConfig::perfect()
+            .override_link(a, b, LinkConfig::perfect().with_loss(1.0))
+            .with_seed(3);
+        let net = SimNetwork::<TestMsg>::new(cfg);
+        net.register(a);
+        let rx_b = net.register(b);
+        let rx_a = net.register(a);
+        let handle = net.handle();
+        handle.send(a, b, TestMsg::Ping(1)).unwrap();
+        handle.send(b, a, TestMsg::Pong(2)).unwrap();
+        assert!(recv_with_timeout(&rx_b, 50).is_none(), "a->b is fully lossy");
+        assert!(recv_with_timeout(&rx_a, 500).is_some(), "b->a is perfect");
+    }
+
+    #[test]
+    fn message_ids_are_unique_and_increasing() {
+        let net = SimNetwork::<TestMsg>::new(NetworkConfig::perfect());
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        net.register(a);
+        net.register(b);
+        let handle = net.handle();
+        let id1 = handle.send(a, b, TestMsg::Ping(1)).unwrap();
+        let id2 = handle.send(a, b, TestMsg::Ping(2)).unwrap();
+        assert!(id2.0 > id1.0);
+    }
+}

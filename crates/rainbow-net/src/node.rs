@@ -1,0 +1,95 @@
+//! Identities of the processes attached to the simulated network.
+
+use rainbow_common::SiteId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A process that can send and receive messages through the simulator.
+///
+/// The Rainbow core consists of "the name server and a number of Rainbow
+/// sites"; in addition, the workload generator and progress monitor (the
+/// WLGlet/PMlet roles of the middle tier) attach as client nodes so their
+/// requests also travel — and are counted — like any other message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A Rainbow site.
+    Site(SiteId),
+    /// The (single, per-instance) Rainbow name server.
+    NameServer,
+    /// A client of the system: the workload generator, progress monitor or a
+    /// manual user session. The index distinguishes concurrent clients.
+    Client(u32),
+}
+
+impl NodeId {
+    /// Shorthand for a site node.
+    pub fn site(id: u32) -> Self {
+        NodeId::Site(SiteId(id))
+    }
+
+    /// The wrapped site id, if this node is a site.
+    pub fn as_site(&self) -> Option<SiteId> {
+        match self {
+            NodeId::Site(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// True if this node is a site.
+    pub fn is_site(&self) -> bool {
+        matches!(self, NodeId::Site(_))
+    }
+}
+
+impl From<SiteId> for NodeId {
+    fn from(id: SiteId) -> Self {
+        NodeId::Site(id)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Site(id) => write!(f, "{id}"),
+            NodeId::NameServer => write!(f, "nameserver"),
+            NodeId::Client(i) => write!(f, "client{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_helpers() {
+        let n = NodeId::site(3);
+        assert!(n.is_site());
+        assert_eq!(n.as_site(), Some(SiteId(3)));
+        assert_eq!(NodeId::NameServer.as_site(), None);
+        assert!(!NodeId::Client(0).is_site());
+    }
+
+    #[test]
+    fn conversion_from_site_id() {
+        let n: NodeId = SiteId(7).into();
+        assert_eq!(n, NodeId::Site(SiteId(7)));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(NodeId::site(2).to_string(), "site2");
+        assert_eq!(NodeId::NameServer.to_string(), "nameserver");
+        assert_eq!(NodeId::Client(5).to_string(), "client5");
+    }
+
+    #[test]
+    fn ordering_groups_sites_before_nameserver_and_clients() {
+        let mut nodes = vec![NodeId::Client(0), NodeId::NameServer, NodeId::site(1), NodeId::site(0)];
+        nodes.sort();
+        assert_eq!(
+            nodes,
+            vec![NodeId::site(0), NodeId::site(1), NodeId::NameServer, NodeId::Client(0)]
+        );
+    }
+}

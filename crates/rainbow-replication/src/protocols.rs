@@ -1,0 +1,305 @@
+//! The replication-control planners: ROWA and Quorum Consensus.
+
+use crate::plan::{votes_of, QuorumKind, QuorumPlan};
+use rainbow_common::config::ItemPlacement;
+use rainbow_common::protocol::RcpKind;
+use rainbow_common::{ItemId, SiteId};
+use std::sync::Arc;
+
+/// A replication control protocol plans which copies must be touched for a
+/// read or a write of an item.
+///
+/// The planner is stateless; the transaction manager executes the plan
+/// (sending copy-access requests, collecting responses in a
+/// [`crate::plan::QuorumCollector`]).
+pub trait ReplicationControl: Send + Sync {
+    /// Plans a read of `item`. `prefer` is the site the transaction would
+    /// like to read from when the protocol allows a choice (its home site),
+    /// and `suspected_down` lists sites the caller believes are unavailable
+    /// so the planner can route around them when it has freedom to.
+    fn plan_read(
+        &self,
+        item: &ItemId,
+        placement: &ItemPlacement,
+        prefer: Option<SiteId>,
+        suspected_down: &[SiteId],
+    ) -> QuorumPlan;
+
+    /// Plans a write (pre-write) of `item`.
+    fn plan_write(&self, item: &ItemId, placement: &ItemPlacement) -> QuorumPlan;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Read-One-Write-All.
+///
+/// Reads touch a single copy (preferably a local one); writes must touch
+/// every copy, so a single unavailable copy holder blocks all writes of the
+/// item — the availability weakness the quorum experiments demonstrate.
+#[derive(Debug, Default)]
+pub struct ReadOneWriteAll;
+
+impl ReadOneWriteAll {
+    /// Creates the planner.
+    pub fn new() -> Self {
+        ReadOneWriteAll
+    }
+}
+
+impl ReplicationControl for ReadOneWriteAll {
+    fn plan_read(
+        &self,
+        item: &ItemId,
+        placement: &ItemPlacement,
+        prefer: Option<SiteId>,
+        suspected_down: &[SiteId],
+    ) -> QuorumPlan {
+        let holders = placement.holders();
+        // Preference order: the preferred site if it holds a copy and is not
+        // suspected down, then any other live holder, then (as a last resort)
+        // suspected-down holders so the request at least gets a chance.
+        let chosen = prefer
+            .filter(|p| placement.holds_copy(*p) && !suspected_down.contains(p))
+            .or_else(|| {
+                holders
+                    .iter()
+                    .find(|s| !suspected_down.contains(s))
+                    .copied()
+            })
+            .or_else(|| holders.first().copied());
+        let targets: Vec<SiteId> = chosen.into_iter().collect();
+        let votes = votes_of(placement);
+        let required_votes = targets
+            .iter()
+            .map(|s| votes.get(s).copied().unwrap_or(1))
+            .sum();
+        QuorumPlan {
+            item: item.clone(),
+            kind: QuorumKind::Read,
+            targets,
+            votes,
+            required_votes,
+        }
+    }
+
+    fn plan_write(&self, item: &ItemId, placement: &ItemPlacement) -> QuorumPlan {
+        let votes = votes_of(placement);
+        let required_votes = votes.values().sum();
+        QuorumPlan {
+            item: item.clone(),
+            kind: QuorumKind::Write,
+            targets: placement.holders(),
+            votes,
+            required_votes,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ROWA"
+    }
+}
+
+/// Quorum Consensus (weighted voting), the Rainbow default RCP.
+///
+/// Both reads and writes contact every copy holder and wait until the
+/// configured vote threshold answers; the quorum thresholds in the
+/// [`ItemPlacement`] guarantee that read quorums intersect write quorums and
+/// write quorums intersect each other.
+#[derive(Debug, Default)]
+pub struct QuorumConsensus;
+
+impl QuorumConsensus {
+    /// Creates the planner.
+    pub fn new() -> Self {
+        QuorumConsensus
+    }
+}
+
+impl ReplicationControl for QuorumConsensus {
+    fn plan_read(
+        &self,
+        item: &ItemId,
+        placement: &ItemPlacement,
+        _prefer: Option<SiteId>,
+        _suspected_down: &[SiteId],
+    ) -> QuorumPlan {
+        QuorumPlan {
+            item: item.clone(),
+            kind: QuorumKind::Read,
+            targets: placement.holders(),
+            votes: votes_of(placement),
+            required_votes: placement.read_quorum,
+        }
+    }
+
+    fn plan_write(&self, item: &ItemId, placement: &ItemPlacement) -> QuorumPlan {
+        QuorumPlan {
+            item: item.clone(),
+            kind: QuorumKind::Write,
+            targets: placement.holders(),
+            votes: votes_of(placement),
+            required_votes: placement.write_quorum,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "QC"
+    }
+}
+
+/// Builds an RCP planner from the configured kind.
+pub fn make_rcp(kind: RcpKind) -> Arc<dyn ReplicationControl> {
+    match kind {
+        RcpKind::Rowa => Arc::new(ReadOneWriteAll::new()),
+        RcpKind::QuorumConsensus => Arc::new(QuorumConsensus::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{QuorumOutcome, QuorumResponse};
+    use rainbow_common::Version;
+
+    fn sites(n: u32) -> Vec<SiteId> {
+        (0..n).map(SiteId).collect()
+    }
+
+    fn item() -> ItemId {
+        ItemId::new("x")
+    }
+
+    #[test]
+    fn rowa_reads_touch_one_copy_preferring_home() {
+        let rcp = ReadOneWriteAll::new();
+        let placement = ItemPlacement::majority(sites(3));
+        let plan = rcp.plan_read(&item(), &placement, Some(SiteId(2)), &[]);
+        assert_eq!(plan.targets, vec![SiteId(2)]);
+        assert_eq!(plan.required_votes, 1);
+        assert_eq!(plan.kind, QuorumKind::Read);
+
+        // Preferred site not a holder: falls back to some holder.
+        let plan = rcp.plan_read(&item(), &placement, Some(SiteId(9)), &[]);
+        assert_eq!(plan.targets.len(), 1);
+        assert!(placement.holds_copy(plan.targets[0]));
+    }
+
+    #[test]
+    fn rowa_read_routes_around_suspected_down_sites() {
+        let rcp = ReadOneWriteAll::new();
+        let placement = ItemPlacement::majority(sites(3));
+        let plan = rcp.plan_read(&item(), &placement, Some(SiteId(0)), &[SiteId(0), SiteId(1)]);
+        assert_eq!(plan.targets, vec![SiteId(2)]);
+        // All holders down: still pick someone rather than nobody.
+        let plan = rcp.plan_read(
+            &item(),
+            &placement,
+            None,
+            &[SiteId(0), SiteId(1), SiteId(2)],
+        );
+        assert_eq!(plan.targets.len(), 1);
+    }
+
+    #[test]
+    fn rowa_writes_require_every_copy() {
+        let rcp = ReadOneWriteAll::new();
+        let placement = ItemPlacement::majority(sites(4));
+        let plan = rcp.plan_write(&item(), &placement);
+        assert_eq!(plan.targets.len(), 4);
+        assert_eq!(plan.required_votes, 4);
+        assert_eq!(plan.kind, QuorumKind::Write);
+
+        // One failure makes a ROWA write impossible.
+        let mut collector = plan.collector();
+        collector.record_failure(SiteId(1));
+        assert_eq!(collector.outcome(), QuorumOutcome::Impossible);
+    }
+
+    #[test]
+    fn qc_uses_placement_thresholds() {
+        let rcp = QuorumConsensus::new();
+        let placement = ItemPlacement::majority(sites(5));
+        let read = rcp.plan_read(&item(), &placement, Some(SiteId(0)), &[]);
+        let write = rcp.plan_write(&item(), &placement);
+        assert_eq!(read.targets.len(), 5);
+        assert_eq!(read.required_votes, 3);
+        assert_eq!(write.required_votes, 3);
+    }
+
+    #[test]
+    fn qc_write_survives_minority_failures() {
+        let rcp = QuorumConsensus::new();
+        let placement = ItemPlacement::majority(sites(5));
+        let mut collector = rcp.plan_write(&item(), &placement).collector();
+        collector.record_failure(SiteId(0));
+        collector.record_failure(SiteId(1));
+        for s in 2..5 {
+            collector.record_response(QuorumResponse {
+                site: SiteId(s),
+                version: Version(1),
+                value: None,
+            });
+        }
+        assert!(collector.is_assembled());
+    }
+
+    #[test]
+    fn qc_read_and_write_quorums_intersect() {
+        // For every replication degree, any assembled read quorum shares at
+        // least one site with any assembled write quorum.
+        for n in 1..=7u32 {
+            let placement = ItemPlacement::majority(sites(n));
+            let read_q = placement.read_quorum as usize;
+            let write_q = placement.write_quorum as usize;
+            assert!(read_q + write_q > n as usize, "degree {n}");
+        }
+    }
+
+    #[test]
+    fn rowa_read_quorum_is_cheaper_than_qc() {
+        let placement = ItemPlacement::majority(sites(5));
+        let rowa_read = ReadOneWriteAll::new().plan_read(&item(), &placement, None, &[]);
+        let qc_read = QuorumConsensus::new().plan_read(&item(), &placement, None, &[]);
+        assert!(rowa_read.targets.len() < qc_read.targets.len());
+    }
+
+    #[test]
+    fn factory_produces_the_requested_protocol() {
+        assert_eq!(make_rcp(RcpKind::Rowa).name(), "ROWA");
+        assert_eq!(make_rcp(RcpKind::QuorumConsensus).name(), "QC");
+    }
+
+    #[test]
+    fn weighted_qc_respects_vote_weights() {
+        let mut copies = std::collections::BTreeMap::new();
+        copies.insert(SiteId(0), 3u32);
+        copies.insert(SiteId(1), 1u32);
+        copies.insert(SiteId(2), 1u32);
+        let placement = ItemPlacement::weighted(copies, 3, 3);
+        let rcp = QuorumConsensus::new();
+        let plan = rcp.plan_write(&item(), &placement);
+        let mut collector = plan.collector();
+        // The heavyweight site alone is a write quorum.
+        collector.record_response(QuorumResponse {
+            site: SiteId(0),
+            version: Version(4),
+            value: None,
+        });
+        assert!(collector.is_assembled());
+        assert_eq!(collector.next_version(), Version(5));
+    }
+
+    #[test]
+    fn single_replica_degenerates_to_primary_copy() {
+        let placement = ItemPlacement::majority(vec![SiteId(3)]);
+        for rcp in [make_rcp(RcpKind::Rowa), make_rcp(RcpKind::QuorumConsensus)] {
+            let read = rcp.plan_read(&item(), &placement, None, &[]);
+            let write = rcp.plan_write(&item(), &placement);
+            assert_eq!(read.targets, vec![SiteId(3)]);
+            assert_eq!(write.targets, vec![SiteId(3)]);
+            assert_eq!(read.required_votes, 1);
+            assert_eq!(write.required_votes, 1);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # rainbow-storage
+//!
+//! Per-site storage substrate of the Rainbow reproduction: a versioned,
+//! in-memory item store backed by a write-ahead log, with crash and
+//! recovery simulation.
+//!
+//! The original Rainbow paper does not describe its storage layer in detail
+//! (the Java demo keeps copies in memory), but atomic commitment and the
+//! fault-injection experiments need something real to force and recover:
+//!
+//! * the two-phase-commit participant must *force* a prepare record before
+//!   voting YES and must be able to find in-doubt transactions after a
+//!   crash;
+//! * quorum consensus needs per-copy **version numbers** that survive site
+//!   recovery;
+//! * the failure-injection experiments (DESIGN.md E-FAIL) crash sites in the
+//!   middle of transactions and expect committed data to survive and
+//!   uncommitted data to disappear.
+//!
+//! The model is therefore: a volatile [`store::VersionedStore`] (lost on
+//! crash) plus a durable [`wal::WriteAheadLog`] (survives crash), and a
+//! [`recovery`] module that rebuilds the store from the log and reports
+//! in-doubt transactions to the commit layer.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod recovery;
+pub mod store;
+pub mod wal;
+
+pub use recovery::{recover, RecoveryOutcome};
+pub use store::{CopyState, SiteStorage, VersionedStore};
+pub use wal::{LogRecord, LogSequence, WriteAheadLog};

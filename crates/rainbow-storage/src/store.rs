@@ -1,0 +1,484 @@
+//! The volatile, versioned item store of one Rainbow site, and the
+//! [`SiteStorage`] facade that pairs it with the write-ahead log.
+
+use crate::recovery::{recover, RecoveryOutcome};
+use crate::wal::{LogRecord, WriteAheadLog};
+use parking_lot::RwLock;
+use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The committed state of one copy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CopyState {
+    /// Latest committed value.
+    pub value: Value,
+    /// Latest committed version number (quorum consensus reads pick the
+    /// highest version in a read quorum).
+    pub version: Version,
+}
+
+impl CopyState {
+    /// A fresh copy with the given initial value at version 0.
+    pub fn initial(value: Value) -> Self {
+        CopyState {
+            value,
+            version: Version::INITIAL,
+        }
+    }
+}
+
+/// The volatile in-memory store: committed copies plus per-transaction
+/// staged (pre-written) updates. Everything here is lost on a crash.
+#[derive(Debug, Default)]
+pub struct VersionedStore {
+    copies: BTreeMap<ItemId, CopyState>,
+    staged: BTreeMap<TxnId, BTreeMap<ItemId, (Value, Version)>>,
+}
+
+impl VersionedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        VersionedStore::default()
+    }
+
+    /// Creates (or resets) an item with an initial value.
+    pub fn create(&mut self, item: ItemId, initial: Value) {
+        self.copies.insert(item, CopyState::initial(initial));
+    }
+
+    /// Reads the committed value and version of an item.
+    pub fn read(&self, item: &ItemId) -> RainbowResult<(Value, Version)> {
+        self.copies
+            .get(item)
+            .map(|c| (c.value.clone(), c.version))
+            .ok_or_else(|| RainbowError::UnknownItem(item.clone()))
+    }
+
+    /// The committed version of an item (the pre-write path of quorum
+    /// consensus asks copies for their version numbers).
+    pub fn version(&self, item: &ItemId) -> RainbowResult<Version> {
+        self.copies
+            .get(item)
+            .map(|c| c.version)
+            .ok_or_else(|| RainbowError::UnknownItem(item.clone()))
+    }
+
+    /// Whether the item exists at this site.
+    pub fn contains(&self, item: &ItemId) -> bool {
+        self.copies.contains_key(item)
+    }
+
+    /// Stages a write on behalf of a transaction. Staged writes become
+    /// visible only when [`VersionedStore::install`] is called.
+    pub fn stage(&mut self, txn: TxnId, item: ItemId, value: Value, version: Version) {
+        self.staged
+            .entry(txn)
+            .or_default()
+            .insert(item, (value, version));
+    }
+
+    /// The writes currently staged by a transaction.
+    pub fn staged_writes(&self, txn: &TxnId) -> Vec<(ItemId, Value, Version)> {
+        self.staged
+            .get(txn)
+            .map(|writes| {
+                writes
+                    .iter()
+                    .map(|(item, (value, version))| (item.clone(), value.clone(), *version))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Installs the staged writes of a transaction into the committed state
+    /// and clears its staging area. Returns the installed writes.
+    pub fn install(&mut self, txn: &TxnId) -> Vec<(ItemId, Value, Version)> {
+        let writes = self.staged.remove(txn).unwrap_or_default();
+        let mut installed = Vec::with_capacity(writes.len());
+        for (item, (value, version)) in writes {
+            self.copies.insert(
+                item.clone(),
+                CopyState {
+                    value: value.clone(),
+                    version,
+                },
+            );
+            installed.push((item, value, version));
+        }
+        installed
+    }
+
+    /// Installs externally supplied writes (used by recovery when replaying
+    /// commit records).
+    pub fn install_writes(&mut self, writes: &[(ItemId, Value, Version)]) {
+        for (item, value, version) in writes {
+            self.copies.insert(
+                item.clone(),
+                CopyState {
+                    value: value.clone(),
+                    version: *version,
+                },
+            );
+        }
+    }
+
+    /// Discards the staged writes of a transaction.
+    pub fn discard(&mut self, txn: &TxnId) {
+        self.staged.remove(txn);
+    }
+
+    /// Transactions that currently have staged writes.
+    pub fn staging_txns(&self) -> Vec<TxnId> {
+        self.staged.keys().copied().collect()
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// True when no item is stored.
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+
+    /// A snapshot of every committed copy, used for checkpoints and replica
+    /// convergence checks.
+    pub fn snapshot(&self) -> Vec<(ItemId, Value, Version)> {
+        self.copies
+            .iter()
+            .map(|(item, state)| (item.clone(), state.value.clone(), state.version))
+            .collect()
+    }
+
+    /// Clears everything (simulating the loss of volatile memory).
+    pub fn clear(&mut self) {
+        self.copies.clear();
+        self.staged.clear();
+    }
+
+    /// Replaces the committed state wholesale (used by recovery).
+    pub fn load(&mut self, state: BTreeMap<ItemId, CopyState>) {
+        self.copies = state;
+        self.staged.clear();
+    }
+}
+
+/// The durable + volatile storage of one Rainbow site.
+///
+/// `SiteStorage` is cheaply cloneable (it is an `Arc` internally) so that
+/// the concurrency-control layer, the commit participant and the site
+/// runtime can all hold handles to the same storage.
+#[derive(Debug, Clone)]
+pub struct SiteStorage {
+    site: SiteId,
+    store: Arc<RwLock<VersionedStore>>,
+    log: WriteAheadLog,
+}
+
+impl SiteStorage {
+    /// Creates empty storage for `site`.
+    pub fn new(site: SiteId) -> Self {
+        SiteStorage {
+            site,
+            store: Arc::new(RwLock::new(VersionedStore::new())),
+            log: WriteAheadLog::new(),
+        }
+    }
+
+    /// The site this storage belongs to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The underlying write-ahead log (shared handle).
+    pub fn log(&self) -> WriteAheadLog {
+        self.log.clone()
+    }
+
+    /// Creates the given items with their initial values and writes a
+    /// checkpoint so they survive a crash.
+    pub fn initialize(&self, items: &[(ItemId, Value)]) {
+        {
+            let mut store = self.store.write();
+            for (item, value) in items {
+                store.create(item.clone(), value.clone());
+            }
+        }
+        self.checkpoint();
+    }
+
+    /// Reads the committed value and version of an item.
+    pub fn read(&self, item: &ItemId) -> RainbowResult<(Value, Version)> {
+        self.store.read().read(item)
+    }
+
+    /// The committed version of an item.
+    pub fn version(&self, item: &ItemId) -> RainbowResult<Version> {
+        self.store.read().version(item)
+    }
+
+    /// Whether the item exists at this site.
+    pub fn contains(&self, item: &ItemId) -> bool {
+        self.store.read().contains(item)
+    }
+
+    /// Stages a write for a transaction (the quorum-consensus pre-write).
+    pub fn stage_write(&self, txn: TxnId, item: ItemId, value: Value, version: Version) {
+        self.store.write().stage(txn, item, value, version);
+    }
+
+    /// The writes staged by a transaction.
+    pub fn staged_writes(&self, txn: &TxnId) -> Vec<(ItemId, Value, Version)> {
+        self.store.read().staged_writes(txn)
+    }
+
+    /// Records that a transaction has begun at this site.
+    pub fn log_begin(&self, txn: TxnId) {
+        self.log.append(LogRecord::Begin { txn });
+    }
+
+    /// Durably prepares a transaction: its staged writes are forced to the
+    /// log so that a crash after voting YES cannot lose them. Returns the
+    /// prepared writes.
+    pub fn prepare(&self, txn: TxnId) -> Vec<(ItemId, Value, Version)> {
+        let writes = self.staged_writes(&txn);
+        self.log.append_forced(LogRecord::Prepare {
+            txn,
+            writes: writes.clone(),
+        });
+        writes
+    }
+
+    /// Commits a transaction: staged writes are installed into the store and
+    /// a commit record is forced. Returns the installed writes.
+    pub fn commit(&self, txn: TxnId) -> Vec<(ItemId, Value, Version)> {
+        let installed = self.store.write().install(&txn);
+        self.log.append_forced(LogRecord::Commit {
+            txn,
+            writes: installed.clone(),
+        });
+        installed
+    }
+
+    /// Commits a transaction using an explicit write set (recovery path for
+    /// in-doubt transactions whose staged writes only exist in the log).
+    pub fn commit_writes(&self, txn: TxnId, writes: Vec<(ItemId, Value, Version)>) {
+        self.store.write().install_writes(&writes);
+        self.log.append_forced(LogRecord::Commit { txn, writes });
+    }
+
+    /// Aborts a transaction: staged writes are discarded and an abort record
+    /// appended (not forced — aborts may be lost on crash and presumed).
+    pub fn abort(&self, txn: TxnId) {
+        self.store.write().discard(&txn);
+        self.log.append(LogRecord::Abort { txn });
+    }
+
+    /// Writes a checkpoint of the committed state and compacts the log.
+    pub fn checkpoint(&self) {
+        let snapshot = self.store.read().snapshot();
+        self.log.checkpoint(snapshot);
+    }
+
+    /// Simulates a crash: volatile state (committed copies in memory and all
+    /// staged writes) is lost, and the unforced log tail disappears.
+    pub fn crash(&self) {
+        self.store.write().clear();
+        self.log.simulate_crash();
+    }
+
+    /// Recovers from the durable log: rebuilds the committed state and
+    /// returns the in-doubt transactions the commit layer must resolve.
+    pub fn recover(&self) -> RecoveryOutcome {
+        let outcome = recover(&self.log);
+        self.store.write().load(outcome.state.clone());
+        outcome
+    }
+
+    /// A snapshot of the committed state (used by replica-convergence tests
+    /// and the progress monitor's database view).
+    pub fn snapshot(&self) -> Vec<(ItemId, Value, Version)> {
+        self.store.read().snapshot()
+    }
+
+    /// Number of items stored at this site.
+    pub fn len(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// True when this site stores no items.
+    pub fn is_empty(&self) -> bool {
+        self.store.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(SiteId(0), seq)
+    }
+
+    fn item(name: &str) -> ItemId {
+        ItemId::new(name)
+    }
+
+    #[test]
+    fn create_read_and_version() {
+        let mut store = VersionedStore::new();
+        store.create(item("x"), Value::Int(5));
+        assert!(store.contains(&item("x")));
+        assert!(!store.contains(&item("y")));
+        assert_eq!(store.read(&item("x")).unwrap(), (Value::Int(5), Version(0)));
+        assert_eq!(store.version(&item("x")).unwrap(), Version(0));
+        assert!(matches!(
+            store.read(&item("y")),
+            Err(RainbowError::UnknownItem(_))
+        ));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn staged_writes_are_invisible_until_installed() {
+        let mut store = VersionedStore::new();
+        store.create(item("x"), Value::Int(0));
+        store.stage(txn(1), item("x"), Value::Int(42), Version(1));
+        assert_eq!(store.read(&item("x")).unwrap(), (Value::Int(0), Version(0)));
+        assert_eq!(store.staged_writes(&txn(1)).len(), 1);
+        assert_eq!(store.staging_txns(), vec![txn(1)]);
+
+        let installed = store.install(&txn(1));
+        assert_eq!(installed.len(), 1);
+        assert_eq!(store.read(&item("x")).unwrap(), (Value::Int(42), Version(1)));
+        assert!(store.staged_writes(&txn(1)).is_empty());
+    }
+
+    #[test]
+    fn discard_drops_staged_writes() {
+        let mut store = VersionedStore::new();
+        store.create(item("x"), Value::Int(0));
+        store.stage(txn(1), item("x"), Value::Int(42), Version(1));
+        store.discard(&txn(1));
+        assert!(store.staged_writes(&txn(1)).is_empty());
+        assert_eq!(store.read(&item("x")).unwrap(), (Value::Int(0), Version(0)));
+        let installed = store.install(&txn(1));
+        assert!(installed.is_empty());
+    }
+
+    #[test]
+    fn site_storage_commit_cycle_survives_crash() {
+        let storage = SiteStorage::new(SiteId(1));
+        storage.initialize(&[(item("x"), Value::Int(0)), (item("y"), Value::Int(10))]);
+        assert_eq!(storage.site(), SiteId(1));
+        assert_eq!(storage.len(), 2);
+
+        let t = txn(1);
+        storage.log_begin(t);
+        storage.stage_write(t, item("x"), Value::Int(100), Version(1));
+        let prepared = storage.prepare(t);
+        assert_eq!(prepared.len(), 1);
+        let installed = storage.commit(t);
+        assert_eq!(installed.len(), 1);
+        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(100), Version(1)));
+
+        storage.crash();
+        assert!(storage.is_empty(), "volatile state must be lost");
+        let outcome = storage.recover();
+        assert!(outcome.in_doubt.is_empty());
+        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(100), Version(1)));
+        assert_eq!(storage.read(&item("y")).unwrap(), (Value::Int(10), Version(0)));
+    }
+
+    #[test]
+    fn uncommitted_staged_writes_do_not_survive_crash() {
+        let storage = SiteStorage::new(SiteId(0));
+        storage.initialize(&[(item("x"), Value::Int(0))]);
+        let t = txn(2);
+        storage.stage_write(t, item("x"), Value::Int(7), Version(1));
+        // No prepare, no commit: crash.
+        storage.crash();
+        storage.recover();
+        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(0), Version(0)));
+        assert!(storage.staged_writes(&t).is_empty());
+    }
+
+    #[test]
+    fn prepared_transactions_are_in_doubt_after_crash() {
+        let storage = SiteStorage::new(SiteId(0));
+        storage.initialize(&[(item("x"), Value::Int(0))]);
+        let t = txn(3);
+        storage.log_begin(t);
+        storage.stage_write(t, item("x"), Value::Int(9), Version(1));
+        storage.prepare(t);
+        storage.crash();
+        let outcome = storage.recover();
+        assert_eq!(outcome.in_doubt.len(), 1);
+        assert_eq!(outcome.in_doubt[0].txn, t);
+        assert_eq!(outcome.in_doubt[0].writes.len(), 1);
+        // The value is still the old one until the in-doubt txn is resolved.
+        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(0), Version(0)));
+
+        // Resolve it as commit via the explicit-writes path.
+        storage.commit_writes(t, outcome.in_doubt[0].writes.clone());
+        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(9), Version(1)));
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_trace_in_state() {
+        let storage = SiteStorage::new(SiteId(0));
+        storage.initialize(&[(item("x"), Value::Int(1))]);
+        let t = txn(4);
+        storage.stage_write(t, item("x"), Value::Int(2), Version(1));
+        storage.abort(t);
+        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(1), Version(0)));
+        storage.crash();
+        let outcome = storage.recover();
+        assert!(outcome.in_doubt.is_empty());
+        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(1), Version(0)));
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_state() {
+        let storage = SiteStorage::new(SiteId(0));
+        storage.initialize(&[(item("x"), Value::Int(0))]);
+        for i in 1..=10u64 {
+            let t = txn(i);
+            storage.stage_write(t, item("x"), Value::Int(i as i64), Version(i));
+            storage.prepare(t);
+            storage.commit(t);
+        }
+        let len_before = storage.log().len();
+        storage.checkpoint();
+        assert!(storage.log().len() < len_before);
+        storage.crash();
+        storage.recover();
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(10), Version(10))
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_committed_state_only() {
+        let storage = SiteStorage::new(SiteId(0));
+        storage.initialize(&[(item("a"), Value::Int(1)), (item("b"), Value::Int(2))]);
+        storage.stage_write(txn(1), item("a"), Value::Int(99), Version(1));
+        let snap = storage.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.contains(&(item("a"), Value::Int(1), Version(0))));
+        assert!(snap.contains(&(item("b"), Value::Int(2), Version(0))));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let storage = SiteStorage::new(SiteId(0));
+        let other = storage.clone();
+        storage.initialize(&[(item("x"), Value::Int(3))]);
+        assert_eq!(other.read(&item("x")).unwrap(), (Value::Int(3), Version(0)));
+    }
+}

@@ -1,0 +1,363 @@
+//! The simulated workload generator.
+
+use rainbow_common::rng::{derive_seed, seeded_rng, AccessDistribution, ItemSampler};
+use rainbow_common::txn::TxnSpec;
+use rainbow_common::{ItemId, Operation, SiteId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How transactions are assigned a home site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HomePolicy {
+    /// Let the cluster pick (round-robin at submission time).
+    ClusterChoice,
+    /// Round-robin over the configured sites, decided by the generator.
+    RoundRobin,
+    /// Uniformly random site.
+    Random,
+    /// Every transaction goes to one fixed site (a deliberately imbalanced
+    /// load used by the load-balance experiment).
+    Fixed(SiteId),
+}
+
+impl Default for HomePolicy {
+    fn default() -> Self {
+        HomePolicy::ClusterChoice
+    }
+}
+
+/// Parameters of a simulated workload — the fields of the "simulated
+/// workload generation panel".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Number of transactions to generate.
+    pub transactions: usize,
+    /// Minimum operations per transaction.
+    pub min_ops: usize,
+    /// Maximum operations per transaction.
+    pub max_ops: usize,
+    /// Fraction of operations that are reads (`0.0..=1.0`); the rest are
+    /// updates.
+    pub read_fraction: f64,
+    /// When true, updates are read-modify-write increments (debit/credit
+    /// style); when false they are blind writes of random values.
+    pub updates_are_increments: bool,
+    /// How items are selected.
+    pub access: AccessDistribution,
+    /// Items available to the workload (normally the schema's item ids).
+    pub items: Vec<ItemId>,
+    /// Sites available for home placement (used by
+    /// [`HomePolicy::RoundRobin`] / [`HomePolicy::Random`]).
+    pub sites: Vec<SiteId>,
+    /// Home-site policy.
+    pub home: HomePolicy,
+    /// Inclusive range of values written by blind writes.
+    pub write_value_range: (i64, i64),
+    /// Inclusive range of increment deltas.
+    pub increment_range: (i64, i64),
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            transactions: 100,
+            min_ops: 2,
+            max_ops: 6,
+            read_fraction: 0.75,
+            updates_are_increments: true,
+            access: AccessDistribution::Uniform,
+            items: (0..16).map(|i| ItemId::new(format!("x{i}"))).collect(),
+            sites: Vec::new(),
+            home: HomePolicy::ClusterChoice,
+            write_value_range: (0, 1000),
+            increment_range: (-50, 50),
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// Sets the item universe from a schema's item ids.
+    pub fn with_items(mut self, items: Vec<ItemId>) -> Self {
+        self.items = items;
+        self
+    }
+
+    /// Sets the candidate home sites.
+    pub fn with_sites(mut self, sites: Vec<SiteId>) -> Self {
+        self.sites = sites;
+        self
+    }
+
+    /// Sets the number of transactions.
+    pub fn with_transactions(mut self, transactions: usize) -> Self {
+        self.transactions = transactions;
+        self
+    }
+
+    /// Sets the read fraction.
+    pub fn with_read_fraction(mut self, fraction: f64) -> Self {
+        self.read_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the access distribution.
+    pub fn with_access(mut self, access: AccessDistribution) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Sets the operations-per-transaction range.
+    pub fn with_ops_range(mut self, min_ops: usize, max_ops: usize) -> Self {
+        self.min_ops = min_ops.max(1);
+        self.max_ops = max_ops.max(self.min_ops);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the home policy.
+    pub fn with_home(mut self, home: HomePolicy) -> Self {
+        self.home = home;
+        self
+    }
+}
+
+/// Generates [`TxnSpec`] workloads from [`WorkloadParams`].
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    params: WorkloadParams,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator.
+    pub fn new(params: WorkloadParams) -> Self {
+        WorkloadGenerator { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Generates the whole workload. Deterministic for a given set of
+    /// parameters (including the seed).
+    pub fn generate(&self) -> Vec<TxnSpec> {
+        let params = &self.params;
+        assert!(
+            !params.items.is_empty(),
+            "workload generation needs at least one item"
+        );
+        let mut rng = seeded_rng(derive_seed(params.seed, "wlg"));
+        let sampler = ItemSampler::new(params.items.len(), params.access);
+        let mut txns = Vec::with_capacity(params.transactions);
+        for index in 0..params.transactions {
+            let ops_count = if params.max_ops > params.min_ops {
+                rng.gen_range(params.min_ops..=params.max_ops)
+            } else {
+                params.min_ops
+            };
+            // Pick distinct items so a transaction does not deadlock with
+            // itself and the footprint is meaningful.
+            let item_indices = sampler.sample_distinct(&mut rng, ops_count);
+            let mut operations = Vec::with_capacity(ops_count);
+            for item_index in item_indices {
+                let item = params.items[item_index].clone();
+                let is_read = rng.gen::<f64>() < params.read_fraction;
+                if is_read {
+                    operations.push(Operation::read(item));
+                } else if params.updates_are_increments {
+                    let (lo, hi) = params.increment_range;
+                    let delta = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                    operations.push(Operation::increment(item, delta));
+                } else {
+                    let (lo, hi) = params.write_value_range;
+                    let value = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                    operations.push(Operation::write(item, value));
+                }
+            }
+            let mut spec = TxnSpec::new(format!("wlg-{index}"), operations);
+            spec.home = match params.home {
+                HomePolicy::ClusterChoice => None,
+                HomePolicy::RoundRobin => {
+                    if params.sites.is_empty() {
+                        None
+                    } else {
+                        Some(params.sites[index % params.sites.len()])
+                    }
+                }
+                HomePolicy::Random => {
+                    if params.sites.is_empty() {
+                        None
+                    } else {
+                        Some(params.sites[rng.gen_range(0..params.sites.len())])
+                    }
+                }
+                HomePolicy::Fixed(site) => Some(site),
+            };
+            txns.push(spec);
+        }
+        txns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<ItemId> {
+        (0..n).map(|i| ItemId::new(format!("x{i}"))).collect()
+    }
+
+    fn sites(n: u32) -> Vec<SiteId> {
+        (0..n).map(SiteId).collect()
+    }
+
+    #[test]
+    fn generates_the_requested_number_of_transactions() {
+        let params = WorkloadParams::default()
+            .with_items(items(8))
+            .with_transactions(50);
+        let txns = WorkloadGenerator::new(params).generate();
+        assert_eq!(txns.len(), 50);
+        for txn in &txns {
+            assert!(!txn.is_empty());
+            assert!(txn.len() >= 2 && txn.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let params = WorkloadParams::default().with_items(items(8)).with_seed(7);
+        let a = WorkloadGenerator::new(params.clone()).generate();
+        let b = WorkloadGenerator::new(params).generate();
+        assert_eq!(a, b);
+        let c = WorkloadGenerator::new(
+            WorkloadParams::default().with_items(items(8)).with_seed(8),
+        )
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_fraction_extremes_produce_pure_workloads() {
+        let read_only = WorkloadGenerator::new(
+            WorkloadParams::default()
+                .with_items(items(4))
+                .with_read_fraction(1.0)
+                .with_transactions(20),
+        )
+        .generate();
+        assert!(read_only.iter().all(|t| t.is_read_only()));
+
+        let write_only = WorkloadGenerator::new(
+            WorkloadParams::default()
+                .with_items(items(4))
+                .with_read_fraction(0.0)
+                .with_transactions(20),
+        )
+        .generate();
+        assert!(write_only.iter().all(|t| !t.is_read_only()));
+    }
+
+    #[test]
+    fn operations_within_a_transaction_touch_distinct_items() {
+        let txns = WorkloadGenerator::new(
+            WorkloadParams::default()
+                .with_items(items(10))
+                .with_ops_range(4, 4)
+                .with_transactions(30),
+        )
+        .generate();
+        for txn in txns {
+            let mut touched: Vec<&ItemId> = txn.operations.iter().map(|op| op.item()).collect();
+            let before = touched.len();
+            touched.sort();
+            touched.dedup();
+            assert_eq!(touched.len(), before);
+        }
+    }
+
+    #[test]
+    fn blind_write_mode_produces_write_operations() {
+        let mut params = WorkloadParams::default()
+            .with_items(items(4))
+            .with_read_fraction(0.0)
+            .with_transactions(10);
+        params.updates_are_increments = false;
+        let txns = WorkloadGenerator::new(params).generate();
+        assert!(txns.iter().all(|t| t
+            .operations
+            .iter()
+            .all(|op| matches!(op, Operation::Write { .. }))));
+    }
+
+    #[test]
+    fn home_policies_assign_sites_as_requested() {
+        let base = WorkloadParams::default()
+            .with_items(items(4))
+            .with_sites(sites(3))
+            .with_transactions(9);
+
+        let rr = WorkloadGenerator::new(base.clone().with_home(HomePolicy::RoundRobin)).generate();
+        assert_eq!(rr[0].home, Some(SiteId(0)));
+        assert_eq!(rr[1].home, Some(SiteId(1)));
+        assert_eq!(rr[2].home, Some(SiteId(2)));
+        assert_eq!(rr[3].home, Some(SiteId(0)));
+
+        let fixed =
+            WorkloadGenerator::new(base.clone().with_home(HomePolicy::Fixed(SiteId(1)))).generate();
+        assert!(fixed.iter().all(|t| t.home == Some(SiteId(1))));
+
+        let random = WorkloadGenerator::new(base.clone().with_home(HomePolicy::Random)).generate();
+        assert!(random.iter().all(|t| t.home.is_some()));
+
+        let cluster = WorkloadGenerator::new(base.with_home(HomePolicy::ClusterChoice)).generate();
+        assert!(cluster.iter().all(|t| t.home.is_none()));
+    }
+
+    #[test]
+    fn hotspot_access_concentrates_on_the_hot_items() {
+        let params = WorkloadParams::default()
+            .with_items(items(20))
+            .with_transactions(200)
+            .with_ops_range(1, 1)
+            .with_access(AccessDistribution::HotSpot {
+                access_fraction: 0.9,
+                item_fraction: 0.1,
+            });
+        let txns = WorkloadGenerator::new(params).generate();
+        let hot_items: Vec<ItemId> = (0..2).map(|i| ItemId::new(format!("x{i}"))).collect();
+        let hot_accesses = txns
+            .iter()
+            .flat_map(|t| t.operations.iter())
+            .filter(|op| hot_items.contains(op.item()))
+            .count();
+        assert!(
+            hot_accesses > 120,
+            "expected most accesses on the hot set, got {hot_accesses}/200"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_item_universe_panics() {
+        let params = WorkloadParams::default().with_items(Vec::new());
+        WorkloadGenerator::new(params).generate();
+    }
+
+    #[test]
+    fn ops_range_builder_enforces_ordering() {
+        let params = WorkloadParams::default().with_ops_range(5, 2);
+        assert_eq!(params.min_ops, 5);
+        assert_eq!(params.max_ops, 5);
+        let params = WorkloadParams::default().with_ops_range(0, 0);
+        assert_eq!(params.min_ops, 1);
+    }
+}

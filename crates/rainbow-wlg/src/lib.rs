@@ -1,0 +1,34 @@
+//! # rainbow-wlg
+//!
+//! The Rainbow workload generator (the "WLG" of the paper's middle tier).
+//!
+//! Rainbow lets the user "use either the manual or the simulated workload
+//! generation panel to compose and submit transactions" (Section 4.2).
+//! This crate provides both halves as pure data generators — they produce
+//! [`rainbow_common::txn::TxnSpec`] lists that the cluster / Session layer
+//! submits:
+//!
+//! * [`manual`] — a builder mirroring the Manual Workload Generation panel
+//!   (Figure A-2): compose individual transactions operation by operation;
+//! * [`generator`] — the simulated workload generator: number of
+//!   transactions, operations per transaction, read/write mix, access
+//!   distribution (uniform, Zipf, hot-spot), value ranges and home-site
+//!   placement policy, all driven by a seed so experiments are repeatable;
+//! * [`profiles`] — named parameter presets used by the examples and the
+//!   benches (read-heavy, write-heavy, debit/credit transfers, hot-spot
+//!   contention);
+//! * [`arrival`] — arrival processes for open (Poisson) and closed (fixed
+//!   multiprogramming level) workloads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod generator;
+pub mod manual;
+pub mod profiles;
+
+pub use arrival::ArrivalProcess;
+pub use generator::{HomePolicy, WorkloadGenerator, WorkloadParams};
+pub use manual::ManualWorkloadBuilder;
+pub use profiles::WorkloadProfile;

@@ -1,0 +1,150 @@
+//! Manual workload composition (the Figure A-2 panel).
+
+use rainbow_common::txn::TxnSpec;
+use rainbow_common::{Operation, SiteId, Value};
+
+/// Builder for hand-composed workloads: the programmatic equivalent of the
+/// "Manual Workload Generation" panel, where a student types individual
+/// read/write operations and submits them.
+#[derive(Debug, Default)]
+pub struct ManualWorkloadBuilder {
+    finished: Vec<TxnSpec>,
+    current: Option<TxnSpec>,
+}
+
+impl ManualWorkloadBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ManualWorkloadBuilder::default()
+    }
+
+    /// Starts a new transaction with the given label; any transaction in
+    /// progress is finished first.
+    pub fn begin(mut self, label: impl Into<String>) -> Self {
+        self.finish_current();
+        self.current = Some(TxnSpec::new(label, Vec::new()));
+        self
+    }
+
+    /// Adds a read operation to the current transaction.
+    pub fn read(mut self, item: impl Into<rainbow_common::ItemId>) -> Self {
+        self.push(Operation::read(item));
+        self
+    }
+
+    /// Adds a write operation to the current transaction.
+    pub fn write(mut self, item: impl Into<rainbow_common::ItemId>, value: impl Into<Value>) -> Self {
+        self.push(Operation::write(item, value));
+        self
+    }
+
+    /// Adds an increment operation to the current transaction.
+    pub fn increment(mut self, item: impl Into<rainbow_common::ItemId>, delta: i64) -> Self {
+        self.push(Operation::increment(item, delta));
+        self
+    }
+
+    /// Pins the current transaction to a home site.
+    pub fn at_site(mut self, site: SiteId) -> Self {
+        if let Some(current) = self.current.as_mut() {
+            current.home = Some(site);
+        }
+        self
+    }
+
+    /// Finishes the current transaction (no-op when none is open).
+    pub fn end(mut self) -> Self {
+        self.finish_current();
+        self
+    }
+
+    /// Returns every composed transaction.
+    pub fn build(mut self) -> Vec<TxnSpec> {
+        self.finish_current();
+        self.finished
+    }
+
+    fn push(&mut self, op: Operation) {
+        match self.current.as_mut() {
+            Some(current) => current.operations.push(op),
+            None => {
+                let label = format!("manual-{}", self.finished.len() + 1);
+                self.current = Some(TxnSpec::new(label, vec![op]));
+            }
+        }
+    }
+
+    fn finish_current(&mut self) {
+        if let Some(current) = self.current.take() {
+            if !current.is_empty() {
+                self.finished.push(current);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::ItemId;
+
+    #[test]
+    fn builds_labelled_transactions_in_order() {
+        let txns = ManualWorkloadBuilder::new()
+            .begin("transfer")
+            .read("a")
+            .read("b")
+            .write("a", 90i64)
+            .write("b", 110i64)
+            .begin("audit")
+            .read("a")
+            .read("b")
+            .build();
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].label, "transfer");
+        assert_eq!(txns[0].operations.len(), 4);
+        assert_eq!(txns[1].label, "audit");
+        assert!(txns[1].is_read_only());
+    }
+
+    #[test]
+    fn operations_without_begin_get_an_implicit_transaction() {
+        let txns = ManualWorkloadBuilder::new().read("x").increment("y", 5).build();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].label, "manual-1");
+        assert_eq!(txns[0].write_set(), vec![ItemId::new("y")]);
+    }
+
+    #[test]
+    fn at_site_pins_the_home_site() {
+        let txns = ManualWorkloadBuilder::new()
+            .begin("pinned")
+            .read("x")
+            .at_site(SiteId(2))
+            .build();
+        assert_eq!(txns[0].home, Some(SiteId(2)));
+    }
+
+    #[test]
+    fn empty_transactions_are_dropped() {
+        let txns = ManualWorkloadBuilder::new()
+            .begin("empty")
+            .begin("real")
+            .read("x")
+            .end()
+            .build();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].label, "real");
+    }
+
+    #[test]
+    fn end_is_idempotent() {
+        let txns = ManualWorkloadBuilder::new()
+            .begin("t")
+            .read("x")
+            .end()
+            .end()
+            .build();
+        assert_eq!(txns.len(), 1);
+    }
+}

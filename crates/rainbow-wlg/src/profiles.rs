@@ -1,0 +1,143 @@
+//! Named workload profiles used by the examples and the experiment benches.
+
+use crate::generator::WorkloadParams;
+use rainbow_common::rng::AccessDistribution;
+use rainbow_common::{ItemId, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// Workload presets: each corresponds to one kind of classroom or research
+/// experiment the paper motivates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadProfile {
+    /// 90% reads, uniform access — the "browsing" baseline.
+    ReadHeavy,
+    /// 60% updates, uniform access — stresses write quorums and 2PC.
+    WriteHeavy,
+    /// Debit/credit transfers: every transaction increments two items
+    /// (one negatively, one positively) and reads both — the classic bank
+    /// workload used in lab assignments.
+    DebitCredit,
+    /// High contention: 80% of accesses hit 10% of the items, half of them
+    /// updates — produces the lock-conflict / timestamp-abort behaviour the
+    /// CCP experiment measures.
+    HotSpotContention,
+    /// Read-only analytical scan over many items.
+    ReadOnlyScan,
+}
+
+impl WorkloadProfile {
+    /// Every profile, for sweeps.
+    pub fn all() -> [WorkloadProfile; 5] {
+        [
+            WorkloadProfile::ReadHeavy,
+            WorkloadProfile::WriteHeavy,
+            WorkloadProfile::DebitCredit,
+            WorkloadProfile::HotSpotContention,
+            WorkloadProfile::ReadOnlyScan,
+        ]
+    }
+
+    /// Short name used in reports and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadProfile::ReadHeavy => "read-heavy",
+            WorkloadProfile::WriteHeavy => "write-heavy",
+            WorkloadProfile::DebitCredit => "debit-credit",
+            WorkloadProfile::HotSpotContention => "hot-spot",
+            WorkloadProfile::ReadOnlyScan => "read-only-scan",
+        }
+    }
+
+    /// Concrete generator parameters for this profile over the given item
+    /// universe and site set.
+    pub fn params(
+        &self,
+        items: Vec<ItemId>,
+        sites: Vec<SiteId>,
+        transactions: usize,
+        seed: u64,
+    ) -> WorkloadParams {
+        let base = WorkloadParams::default()
+            .with_items(items)
+            .with_sites(sites)
+            .with_transactions(transactions)
+            .with_seed(seed);
+        match self {
+            WorkloadProfile::ReadHeavy => base
+                .with_read_fraction(0.9)
+                .with_ops_range(2, 6)
+                .with_access(AccessDistribution::Uniform),
+            WorkloadProfile::WriteHeavy => base
+                .with_read_fraction(0.4)
+                .with_ops_range(2, 6)
+                .with_access(AccessDistribution::Uniform),
+            WorkloadProfile::DebitCredit => base
+                .with_read_fraction(0.0)
+                .with_ops_range(2, 2)
+                .with_access(AccessDistribution::Uniform),
+            WorkloadProfile::HotSpotContention => base
+                .with_read_fraction(0.5)
+                .with_ops_range(2, 4)
+                .with_access(AccessDistribution::HotSpot {
+                    access_fraction: 0.8,
+                    item_fraction: 0.1,
+                }),
+            WorkloadProfile::ReadOnlyScan => base
+                .with_read_fraction(1.0)
+                .with_ops_range(6, 10)
+                .with_access(AccessDistribution::Uniform),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+
+    fn items(n: usize) -> Vec<ItemId> {
+        (0..n).map(|i| ItemId::new(format!("x{i}"))).collect()
+    }
+
+    #[test]
+    fn every_profile_generates_a_valid_workload() {
+        for profile in WorkloadProfile::all() {
+            let params = profile.params(items(16), vec![SiteId(0), SiteId(1)], 25, 1);
+            let txns = WorkloadGenerator::new(params).generate();
+            assert_eq!(txns.len(), 25, "profile {}", profile.name());
+            assert!(!profile.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn read_heavy_is_mostly_reads_and_write_heavy_is_not() {
+        let count_updates = |profile: WorkloadProfile| {
+            let params = profile.params(items(16), vec![], 100, 3);
+            let txns = WorkloadGenerator::new(params).generate();
+            txns.iter()
+                .flat_map(|t| t.operations.iter())
+                .filter(|op| op.is_update())
+                .count()
+        };
+        let read_heavy = count_updates(WorkloadProfile::ReadHeavy);
+        let write_heavy = count_updates(WorkloadProfile::WriteHeavy);
+        assert!(
+            write_heavy > read_heavy * 2,
+            "write-heavy ({write_heavy}) should update far more than read-heavy ({read_heavy})"
+        );
+    }
+
+    #[test]
+    fn read_only_scan_never_updates() {
+        let params = WorkloadProfile::ReadOnlyScan.params(items(16), vec![], 50, 5);
+        let txns = WorkloadGenerator::new(params).generate();
+        assert!(txns.iter().all(|t| t.is_read_only()));
+    }
+
+    #[test]
+    fn debit_credit_transactions_touch_exactly_two_items() {
+        let params = WorkloadProfile::DebitCredit.params(items(16), vec![], 50, 5);
+        let txns = WorkloadGenerator::new(params).generate();
+        assert!(txns.iter().all(|t| t.len() == 2 && !t.is_read_only()));
+    }
+}

@@ -1,0 +1,63 @@
+//! Resource-cleanup regression tests: after a workload finishes, no
+//! transaction may keep holding concurrency-control resources at any site
+//! (leaked locks were an actual bug class during development — a copy-access
+//! grant racing with the transaction's decision).
+
+use rainbow_common::protocol::{CcpKind, ProtocolStack};
+use rainbow_core::{Cluster, ClusterConfig};
+use rainbow_wlg::{WorkloadGenerator, WorkloadProfile};
+use std::time::Duration;
+
+fn run_and_check(ccp: CcpKind, transactions: usize, mpl: usize) {
+    let stack = ProtocolStack::rainbow_default()
+        .with_ccp(ccp)
+        .with_lock_wait_timeout(Duration::from_millis(150))
+        .with_quorum_timeout(Duration::from_millis(500))
+        .with_commit_timeout(Duration::from_millis(500));
+    let config = ClusterConfig::quick(3, 8, 3).unwrap().with_stack(stack);
+    let cluster = Cluster::start(config).unwrap();
+    let params = WorkloadProfile::WriteHeavy.params(
+        cluster.config().database.item_ids(),
+        cluster.site_ids(),
+        transactions,
+        17,
+    );
+    let specs = WorkloadGenerator::new(params).generate();
+    let results = cluster.run_workload(specs, mpl);
+    assert_eq!(results.len(), transactions);
+    assert!(results.iter().any(|r| r.committed()));
+
+    // Give in-flight decision messages a moment to land, then insist that no
+    // CCP resources remain held anywhere. Retry briefly to avoid depending
+    // on scheduler timing, but far below the janitor horizon so leaks cannot
+    // hide behind it.
+    let mut last = cluster.active_cc_transactions();
+    for _ in 0..10 {
+        if last.values().all(|count| *count == 0) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        last = cluster.active_cc_transactions();
+    }
+    assert!(
+        last.values().all(|count| *count == 0),
+        "leaked concurrency-control resources after the workload ({ccp}): {last:?}, \
+         lingering participants: {:?}",
+        cluster.lingering_participants()
+    );
+}
+
+#[test]
+fn no_leaked_locks_after_a_contended_2pl_workload() {
+    run_and_check(CcpKind::TwoPhaseLocking, 40, 8);
+}
+
+#[test]
+fn no_leaked_state_after_a_tso_workload() {
+    run_and_check(CcpKind::TimestampOrdering, 40, 8);
+}
+
+#[test]
+fn no_leaked_state_after_an_mvto_workload() {
+    run_and_check(CcpKind::MultiversionTimestampOrdering, 40, 8);
+}
