@@ -35,7 +35,7 @@ pub mod tso;
 pub mod two_phase_locking;
 pub mod types;
 
-pub use lock::{LockManager, LockMode};
+pub use lock::{LockError, LockManager, LockMode, DEFAULT_LOCK_SHARDS};
 pub use mvto::MultiversionTimestampOrdering;
 pub use tso::TimestampOrdering;
 pub use two_phase_locking::TwoPhaseLocking;

@@ -17,11 +17,30 @@
 //! Waits are always bounded by the configured lock-wait timeout, whatever the
 //! policy, so a distributed deadlock spanning several sites (which no local
 //! wait-for graph can see) is eventually broken as well.
+//!
+//! # Sharding
+//!
+//! The lock table is split into [`LockManager::shard_count`] independently
+//! locked shards keyed by the item's interned hash ([`ItemId::token`]), so
+//! concurrent transactions touching different items proceed without
+//! contending on one global mutex. Per-item state (holders, waiters) lives
+//! entirely inside one shard; cross-item state is factored out:
+//!
+//! * **timestamps** (wait-die / wound-wait ordering) sit behind a
+//!   read-mostly `RwLock`;
+//! * **wounded** flags sit behind their own `RwLock`;
+//! * the **wait-for graph** has a dedicated mutex, and edge insertion plus
+//!   cycle detection happen atomically under it, so deadlock detection
+//!   always sees a consistent snapshot of the whole graph even though the
+//!   item shards move independently.
+//!
+//! Lock order is strictly `shard → auxiliary`, and no auxiliary lock is ever
+//! held while taking a shard lock, so the layers cannot deadlock each other.
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rainbow_common::protocol::DeadlockPolicy;
-use rainbow_common::{ItemId, Timestamp, TxnId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use rainbow_common::{FxHashMap, FxHashSet, ItemId, Timestamp, TxnId};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -65,33 +84,60 @@ struct ItemLockState {
     waiters: VecDeque<TxnId>,
 }
 
+/// How many idle per-item entries a shard caches before sweeping them.
+/// Idle entries keep their allocations so steady-state acquire/release
+/// cycles on a working set are allocation-free, while the sweep bounds the
+/// table so it does not grow monotonically with every item ever touched.
+const IDLE_SWEEP_THRESHOLD: usize = 512;
+
+/// One independently locked slice of the lock table.
 #[derive(Debug, Default)]
-struct LockTable {
-    items: HashMap<ItemId, ItemLockState>,
-    /// Items each transaction holds locks on (for release).
-    held: HashMap<TxnId, HashSet<ItemId>>,
-    /// Timestamp of every transaction the manager has seen (for wait-die /
-    /// wound-wait ordering).
-    timestamps: HashMap<TxnId, Timestamp>,
-    /// Transactions wounded by an older requester; they must abort.
-    wounded: HashSet<TxnId>,
-    /// Wait-for edges: waiter → set of holders it waits for.
-    waits_for: HashMap<TxnId, HashSet<TxnId>>,
+struct ShardTable {
+    items: FxHashMap<ItemId, ItemLockState>,
+    /// Entries currently idle (no holders, no waiters), kept for reuse
+    /// until [`IDLE_SWEEP_THRESHOLD`] triggers a sweep.
+    idle_entries: usize,
+    /// Number of transactions currently blocked on this shard's condvar.
+    /// Release paths skip the condvar notification (a futex syscall) when
+    /// nobody is waiting — the overwhelmingly common case.
+    blocked_waiters: usize,
 }
 
-impl LockTable {
-    /// Whether `txn` can be granted `mode` on `item` right now. Also returns
-    /// true for lock re-acquisition / no-op requests.
-    fn can_grant(&self, item: &ItemId, txn: TxnId, mode: LockMode) -> bool {
-        let Some(state) = self.items.get(item) else {
-            return true;
+/// Outcome of a grant attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GrantOutcome {
+    /// Granted, and the transaction newly appears in the holder list.
+    GrantedNew,
+    /// Granted as a re-acquisition or upgrade (already a holder).
+    GrantedAgain,
+    /// Incompatible with current holders.
+    Refused,
+}
+
+impl ShardTable {
+    /// Grants `mode` on `item` to `txn` when compatible (including
+    /// re-acquisition and sole-holder upgrades), in a single map probe.
+    fn try_grant(&mut self, item: &ItemId, txn: TxnId, mode: LockMode) -> GrantOutcome {
+        let state = match self.items.entry(item.clone()) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                let state = entry.into_mut();
+                // A cached idle entry is about to become live again (an
+                // idle entry has no holders, so the grant below succeeds).
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    self.idle_entries -= 1;
+                }
+                state
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(ItemLockState::default())
+            }
         };
         let held_mode = state
             .holders
             .iter()
             .find(|(holder, _)| *holder == txn)
             .map(|(_, m)| *m);
-        match (held_mode, mode) {
+        let can_grant = match (held_mode, mode) {
             // Already holds an equal or stronger lock.
             (Some(LockMode::Exclusive), _) | (Some(LockMode::Shared), LockMode::Shared) => true,
             // Upgrade: allowed only when it is the sole holder.
@@ -101,21 +147,25 @@ impl LockTable {
                 .holders
                 .iter()
                 .all(|(_, held)| held.compatible(requested)),
+        };
+        if !can_grant {
+            // The entry is never empty here: incompatibility implies other
+            // holders exist, so the probe did not create it.
+            return GrantOutcome::Refused;
         }
-    }
-
-    /// Grants the lock (assumes `can_grant` returned true).
-    fn grant(&mut self, item: &ItemId, txn: TxnId, mode: LockMode) {
-        let state = self.items.entry(item.clone()).or_default();
-        if let Some(entry) = state.holders.iter_mut().find(|(holder, _)| *holder == txn) {
-            // Upgrade shared → exclusive if requested.
-            if mode == LockMode::Exclusive {
-                entry.1 = LockMode::Exclusive;
+        match state.holders.iter_mut().find(|(holder, _)| *holder == txn) {
+            Some(entry) => {
+                // Upgrade shared → exclusive if requested.
+                if mode == LockMode::Exclusive {
+                    entry.1 = LockMode::Exclusive;
+                }
+                GrantOutcome::GrantedAgain
             }
-        } else {
-            state.holders.push((txn, mode));
+            None => {
+                state.holders.push((txn, mode));
+                GrantOutcome::GrantedNew
+            }
         }
-        self.held.entry(txn).or_default().insert(item.clone());
     }
 
     /// The holders whose locks conflict with `txn` requesting `mode`.
@@ -131,15 +181,58 @@ impl LockTable {
             .collect()
     }
 
-    /// Depth-first search for a cycle through `start` in the wait-for graph.
+    /// Removes `txn` from the waiter list of `item`, marking the entry idle
+    /// when removing the last waiter leaves neither holders nor waiters.
+    /// The idle transition only happens when a waiter was actually removed
+    /// — otherwise an already-idle cached entry would be counted twice and
+    /// corrupt the idle-entry accounting.
+    fn remove_waiter(&mut self, item: &ItemId, txn: TxnId) {
+        if let Some(state) = self.items.get_mut(item) {
+            if let Some(pos) = state.waiters.iter().position(|waiter| *waiter == txn) {
+                state.waiters.remove(pos);
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    self.idle_entries += 1;
+                    self.maybe_sweep();
+                }
+            }
+        }
+    }
+
+    /// Sweeps cached idle entries once too many accumulate, bounding the
+    /// table's footprint without paying an allocation + deallocation on
+    /// every routine acquire/release cycle.
+    fn maybe_sweep(&mut self) {
+        if self.idle_entries > IDLE_SWEEP_THRESHOLD {
+            self.items
+                .retain(|_, state| !(state.holders.is_empty() && state.waiters.is_empty()));
+            self.idle_entries = 0;
+        }
+    }
+
+    /// Per-item entries currently live (holding locks or queueing waiters).
+    fn live_entries(&self) -> usize {
+        self.items.len() - self.idle_entries
+    }
+}
+
+/// Cross-shard wait-for graph, guarded by one mutex so that edge insertion
+/// and cycle detection are atomic: detection always sees a consistent
+/// snapshot even while the item shards move concurrently.
+#[derive(Debug, Default)]
+struct WaitGraph {
+    /// Waiter → set of holders it waits for.
+    edges: FxHashMap<TxnId, FxHashSet<TxnId>>,
+}
+
+impl WaitGraph {
+    /// Depth-first search for a cycle through `start`.
     fn creates_cycle(&self, start: TxnId) -> bool {
-        // Does any path from a node `start` waits for lead back to `start`?
         let mut stack: Vec<TxnId> = self
-            .waits_for
+            .edges
             .get(&start)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
-        let mut visited: HashSet<TxnId> = HashSet::new();
+        let mut visited: FxHashSet<TxnId> = FxHashSet::default();
         while let Some(node) = stack.pop() {
             if node == start {
                 return true;
@@ -147,7 +240,7 @@ impl LockTable {
             if !visited.insert(node) {
                 continue;
             }
-            if let Some(next) = self.waits_for.get(&node) {
+            if let Some(next) = self.edges.get(&node) {
                 stack.extend(next.iter().copied());
             }
         }
@@ -189,24 +282,70 @@ impl LockStats {
     }
 }
 
+/// One shard: its slice of the lock table plus the condvar its waiters
+/// block on.
+#[derive(Debug, Default)]
+struct Shard {
+    table: Mutex<ShardTable>,
+    released: Condvar,
+}
+
+/// Default number of lock-table shards (the "shard count knob"; see
+/// [`LockManager::with_shards`]).
+pub const DEFAULT_LOCK_SHARDS: usize = 16;
+
+/// Number of per-transaction metadata shards (keyed by transaction hash, so
+/// concurrent transactions do not serialize on one bookkeeping mutex).
+const TXN_META_SHARDS: usize = 16;
+
+/// Per-transaction bookkeeping: its timestamp (wait-die / wound-wait
+/// ordering) and the exact items it holds locks on, so release walks only
+/// the shards that actually hold something. Written at grant time inside
+/// the granting shard's critical section, which keeps it consistent with
+/// the holder lists.
+#[derive(Debug, Clone)]
+struct TxnMeta {
+    ts: Timestamp,
+    held: Vec<ItemId>,
+}
+
 /// The lock manager of one site.
 pub struct LockManager {
     policy: DeadlockPolicy,
     timeout: Duration,
-    table: Mutex<LockTable>,
-    released: Condvar,
+    shards: Box<[Shard]>,
+    /// Per-transaction metadata, sharded by transaction hash.
+    txn_meta: Box<[Mutex<FxHashMap<TxnId, TxnMeta>>]>,
+    /// Transactions wounded by an older requester; they must abort. Only
+    /// ever populated under the wound-wait policy, so the other policies
+    /// never touch this lock on their fast path.
+    wounded: RwLock<FxHashSet<TxnId>>,
+    /// The cross-shard wait-for graph (used by `WaitForGraph` only).
+    wait_graph: Mutex<WaitGraph>,
     stats: LockStats,
 }
 
 impl LockManager {
-    /// Creates a lock manager with the given deadlock policy and wait
-    /// timeout.
+    /// Creates a lock manager with the given deadlock policy, wait timeout
+    /// and the default shard count.
     pub fn new(policy: DeadlockPolicy, timeout: Duration) -> Self {
+        Self::with_shards(policy, timeout, DEFAULT_LOCK_SHARDS)
+    }
+
+    /// Creates a lock manager with an explicit shard count (rounded up to at
+    /// least 1). More shards reduce contention between transactions touching
+    /// different items; one shard reproduces the classic single-mutex table.
+    pub fn with_shards(policy: DeadlockPolicy, timeout: Duration, shards: usize) -> Self {
+        let count = shards.max(1);
         LockManager {
             policy,
             timeout,
-            table: Mutex::new(LockTable::default()),
-            released: Condvar::new(),
+            shards: (0..count).map(|_| Shard::default()).collect(),
+            txn_meta: (0..TXN_META_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            wounded: RwLock::new(FxHashSet::default()),
+            wait_graph: Mutex::new(WaitGraph::default()),
             stats: LockStats::default(),
         }
     }
@@ -216,14 +355,62 @@ impl LockManager {
         self.policy
     }
 
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// The lock statistics.
     pub fn stats(&self) -> &LockStats {
         &self.stats
     }
 
+    /// The shard index an item belongs to, chosen by the item's interned
+    /// hash (deterministic across runs).
+    fn shard_index(&self, item: &ItemId) -> usize {
+        (item.token() as usize) % self.shards.len()
+    }
+
+    /// The metadata shard of a transaction.
+    fn meta_shard(&self, txn: TxnId) -> &Mutex<FxHashMap<TxnId, TxnMeta>> {
+        let key = txn.home.index() as u64 ^ txn.seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.txn_meta[(key as usize) % TXN_META_SHARDS]
+    }
+
+    /// Looks up the recorded timestamp of a transaction.
+    fn timestamp_of(&self, txn: TxnId) -> Option<Timestamp> {
+        self.meta_shard(txn).lock().get(&txn).map(|meta| meta.ts)
+    }
+
+    /// Records that `txn` (timestamp `ts`) newly holds a lock on `item`.
+    /// Called with the granting shard's lock held; metadata always nests
+    /// inside shard locks, never the reverse, so a racing `release_all`
+    /// either sees this grant in the metadata or the grant happens after
+    /// its shard pass and re-creates the entry for the next release.
+    fn note_held(&self, txn: TxnId, ts: Timestamp, item: &ItemId) {
+        let mut meta = self.meta_shard(txn).lock();
+        let entry = meta.entry(txn).or_insert_with(|| TxnMeta {
+            ts,
+            held: Vec::new(),
+        });
+        entry.held.push(item.clone());
+    }
+
     /// Whether the transaction has been wounded and must abort.
     pub fn is_wounded(&self, txn: TxnId) -> bool {
-        self.table.lock().wounded.contains(&txn)
+        self.wounded.read().contains(&txn)
+    }
+
+    /// Fast-path wound check: only wound-wait ever populates the set.
+    fn wounded_now(&self, txn: TxnId) -> bool {
+        self.policy == DeadlockPolicy::WoundWait && self.wounded.read().contains(&txn)
+    }
+
+    /// Drops the wait-for edges of `txn`.
+    fn clear_wait_edges(&self, txn: TxnId) {
+        if self.policy == DeadlockPolicy::WaitForGraph {
+            self.wait_graph.lock().edges.remove(&txn);
+        }
     }
 
     /// Acquires `mode` on `item` for `txn` (timestamp `ts`), blocking up to
@@ -236,39 +423,52 @@ impl LockManager {
         mode: LockMode,
     ) -> Result<(), LockError> {
         let deadline = Instant::now() + self.timeout;
-        let mut table = self.table.lock();
-        table.timestamps.insert(txn, ts);
+        let shard_index = self.shard_index(item);
+        let shard = &self.shards[shard_index];
+        let mut table = shard.table.lock();
         let mut waited = false;
 
         loop {
-            if table.wounded.contains(&txn) {
-                self.cleanup_waiter(&mut table, txn, item);
+            if self.wounded_now(txn) {
+                table.remove_waiter(item, txn);
+                self.clear_wait_edges(txn);
                 return Err(LockError::Wounded);
             }
-            if table.can_grant(item, txn, mode) {
-                table.grant(item, txn, mode);
-                self.cleanup_waiter(&mut table, txn, item);
-                self.stats.grants.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+            match table.try_grant(item, txn, mode) {
+                GrantOutcome::Refused => {}
+                outcome => {
+                    if outcome == GrantOutcome::GrantedNew {
+                        // Record the grant while still inside the shard
+                        // critical section, so it is visible to the next
+                        // `release_all` even if a racing release already ran.
+                        self.note_held(txn, ts, item);
+                    }
+                    if waited {
+                        table.remove_waiter(item, txn);
+                        self.clear_wait_edges(txn);
+                    }
+                    self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
             }
 
             let conflicts = table.conflicting_holders(item, txn, mode);
 
-            // Apply the deadlock policy before (possibly) waiting.
+            // Apply the deadlock policy before (possibly) waiting. Auxiliary
+            // locks (timestamps / wounded / wait graph) nest *inside* the
+            // shard lock, never the other way around.
             match self.policy {
                 DeadlockPolicy::WaitDie => {
                     // The requester may only wait for *younger* holders
                     // (i.e. the requester must be the oldest). Otherwise it
                     // dies.
                     let older_holder_exists = conflicts.iter().any(|holder| {
-                        table
-                            .timestamps
-                            .get(holder)
-                            .map(|holder_ts| *holder_ts < ts)
+                        self.timestamp_of(*holder)
+                            .map(|holder_ts| holder_ts < ts)
                             .unwrap_or(false)
                     });
                     if older_holder_exists {
-                        self.cleanup_waiter(&mut table, txn, item);
+                        table.remove_waiter(item, txn);
                         self.stats.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
                         return Err(LockError::Deadlock);
                     }
@@ -278,29 +478,37 @@ impl LockManager {
                     // holder; a younger requester just waits.
                     let mut wounded_someone = false;
                     for holder in &conflicts {
-                        let younger = table
-                            .timestamps
-                            .get(holder)
-                            .map(|holder_ts| *holder_ts > ts)
+                        let younger = self
+                            .timestamp_of(*holder)
+                            .map(|holder_ts| holder_ts > ts)
                             .unwrap_or(true);
-                        if younger && table.wounded.insert(*holder) {
+                        if younger && self.wounded.write().insert(*holder) {
                             wounded_someone = true;
                             self.stats.wounds.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     if wounded_someone {
                         // Wounded holders discover their fate on their next
-                        // CCP call; wake anyone waiting so progress resumes
-                        // as soon as they release.
-                        self.released.notify_all();
+                        // CCP call; wake waiters on *every* shard (a wounded
+                        // transaction may be blocked on any item) so progress
+                        // resumes as soon as they release. Notifying a
+                        // condvar without holding its shard's mutex is safe —
+                        // woken waiters re-check their predicate.
+                        for other in self.shards.iter() {
+                            other.released.notify_all();
+                        }
                     }
                 }
                 DeadlockPolicy::WaitForGraph => {
-                    let edges: HashSet<TxnId> = conflicts.iter().copied().collect();
-                    table.waits_for.insert(txn, edges);
-                    if table.creates_cycle(txn) {
-                        table.waits_for.remove(&txn);
-                        self.cleanup_waiter(&mut table, txn, item);
+                    // Insert this waiter's edges and run cycle detection in
+                    // one critical section: the check sees a consistent
+                    // global graph regardless of shard concurrency.
+                    let mut graph = self.wait_graph.lock();
+                    graph.edges.insert(txn, conflicts.iter().copied().collect());
+                    if graph.creates_cycle(txn) {
+                        graph.edges.remove(&txn);
+                        drop(graph);
+                        table.remove_waiter(item, txn);
                         self.stats.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
                         return Err(LockError::Deadlock);
                     }
@@ -319,18 +527,35 @@ impl LockManager {
                 waited = true;
                 self.stats.waits.fetch_add(1, Ordering::Relaxed);
             }
-            let timed_out = self
-                .released
-                .wait_until(&mut table, deadline)
-                .timed_out();
+            // Under wound-wait the wound flag lives outside this shard's
+            // mutex, so a wound + notify issued between our wounded check
+            // and parking here could be lost; waiting in bounded slices
+            // guarantees the flag is re-checked promptly regardless.
+            let slice = if self.policy == DeadlockPolicy::WoundWait {
+                deadline.min(Instant::now() + Duration::from_millis(25))
+            } else {
+                deadline
+            };
+            table.blocked_waiters += 1;
+            let _slice_expired = shard.released.wait_until(&mut table, slice).timed_out();
+            table.blocked_waiters -= 1;
+            let timed_out = Instant::now() >= deadline;
             if timed_out {
-                self.cleanup_waiter(&mut table, txn, item);
+                table.remove_waiter(item, txn);
+                self.clear_wait_edges(txn);
                 // One last chance: the lock may have been released exactly at
                 // the deadline.
-                if table.can_grant(item, txn, mode) && !table.wounded.contains(&txn) {
-                    table.grant(item, txn, mode);
-                    self.stats.grants.fetch_add(1, Ordering::Relaxed);
-                    return Ok(());
+                if !self.wounded_now(txn) {
+                    match table.try_grant(item, txn, mode) {
+                        GrantOutcome::Refused => {}
+                        outcome => {
+                            if outcome == GrantOutcome::GrantedNew {
+                                self.note_held(txn, ts, item);
+                            }
+                            self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                            return Ok(());
+                        }
+                    }
                 }
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                 return Err(LockError::Timeout);
@@ -338,56 +563,75 @@ impl LockManager {
         }
     }
 
-    /// Removes `txn` from the waiter list of `item` and drops its wait-for
-    /// edges.
-    fn cleanup_waiter(&self, table: &mut LockTable, txn: TxnId, item: &ItemId) {
-        if let Some(state) = table.items.get_mut(item) {
-            state.waiters.retain(|waiter| *waiter != txn);
-        }
-        table.waits_for.remove(&txn);
-    }
-
     /// Releases every lock held by `txn` (strict 2PL: called at commit or
-    /// abort) and clears its wounded flag and bookkeeping.
+    /// abort) and clears its wounded flag and bookkeeping. Only the shards
+    /// of items the transaction actually holds are visited (tracked in the
+    /// per-transaction metadata written at grant time).
     pub fn release_all(&self, txn: TxnId) {
-        let mut table = self.table.lock();
-        if let Some(items) = table.held.remove(&txn) {
-            for item in items {
-                if let Some(state) = table.items.get_mut(&item) {
-                    state.holders.retain(|(holder, _)| *holder != txn);
-                    if state.holders.is_empty() && state.waiters.is_empty() {
-                        table.items.remove(&item);
-                    }
+        // Unknown transaction (released twice, or never granted anything):
+        // nothing can be held anywhere.
+        let held = match self.meta_shard(txn).lock().remove(&txn) {
+            Some(meta) => meta.held,
+            None => Vec::new(),
+        };
+        for item in &held {
+            let shard = &self.shards[self.shard_index(item)];
+            let mut table = shard.table.lock();
+            if let Some(state) = table.items.get_mut(item) {
+                // Index-based removal instead of an O(n) retain scan; a
+                // transaction appears at most once per holder list.
+                if let Some(pos) = state.holders.iter().position(|(holder, _)| *holder == txn) {
+                    state.holders.swap_remove(pos);
+                }
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    table.idle_entries += 1;
+                    table.maybe_sweep();
                 }
             }
+            let somebody_waits = table.blocked_waiters > 0;
+            drop(table);
+            if somebody_waits {
+                shard.released.notify_all();
+            }
         }
-        table.wounded.remove(&txn);
-        table.waits_for.remove(&txn);
-        table.timestamps.remove(&txn);
-        // Remove txn from any other wait-for edge sets.
-        for edges in table.waits_for.values_mut() {
-            edges.remove(&txn);
+        if self.policy == DeadlockPolicy::WoundWait {
+            self.wounded.write().remove(&txn);
         }
-        drop(table);
-        self.released.notify_all();
+        if self.policy == DeadlockPolicy::WaitForGraph {
+            let mut graph = self.wait_graph.lock();
+            graph.edges.remove(&txn);
+            // Remove txn from any other wait-for edge sets.
+            for edges in graph.edges.values_mut() {
+                edges.remove(&txn);
+            }
+        }
     }
 
     /// Locks currently held by `txn` (for tests and diagnostics).
     pub fn held_by(&self, txn: TxnId) -> Vec<ItemId> {
-        let table = self.table.lock();
-        table
-            .held
+        self.meta_shard(txn)
+            .lock()
             .get(&txn)
-            .map(|items| items.iter().cloned().collect())
+            .map(|meta| meta.held.clone())
             .unwrap_or_default()
     }
 
     /// Number of transactions currently holding at least one lock.
     pub fn active_transactions(&self) -> usize {
-        self.table.lock().held.len()
+        self.txn_meta.iter().map(|shard| shard.lock().len()).sum()
+    }
+
+    /// Total number of *live* per-item entries (holding locks or queueing
+    /// waiters) across all shards. Idle entries are cached for reuse up to
+    /// a bounded threshold and periodically swept, so the table's footprint
+    /// does not grow monotonically with every item ever touched.
+    pub fn item_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.table.lock().live_entries())
+            .sum()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

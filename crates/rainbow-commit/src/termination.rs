@@ -21,17 +21,15 @@ use crate::types::Decision;
 /// participant remains blocked.
 pub fn resolve_by_peers(peer_states: &[ParticipantState]) -> Option<Decision> {
     // Rule 1: somebody already knows the decision.
-    if peer_states
-        .iter()
-        .any(|s| *s == ParticipantState::Committed)
+    if peer_states.contains(&ParticipantState::Committed)
     {
         return Some(Decision::Commit);
     }
-    if peer_states.iter().any(|s| *s == ParticipantState::Aborted) {
+    if peer_states.contains(&ParticipantState::Aborted) {
         return Some(Decision::Abort);
     }
     // Rule 2: somebody has not voted — commit cannot have been decided.
-    if peer_states.iter().any(|s| *s == ParticipantState::Working) {
+    if peer_states.contains(&ParticipantState::Working) {
         return Some(Decision::Abort);
     }
     // Rule 3: everyone reachable is uncertain too.

@@ -1,0 +1,112 @@
+//! A fast, non-cryptographic hasher for the data-plane hot path.
+//!
+//! The std `HashMap` default (SipHash-1-3) is keyed and DoS-resistant but
+//! costs tens of nanoseconds even for tiny keys. Rainbow's hot maps are
+//! keyed by [`crate::ItemId`] (which hashes as one precomputed `u64`) and
+//! by [`crate::TxnId`] (two small integers) inside a closed simulation — no
+//! attacker-controlled keys — so a multiply-xor hasher in the FxHash family
+//! is both safe and several times faster.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (golden-ratio derived, as used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-xor hasher (FxHash family).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add_word(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_word(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_word(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_word(value as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_insert_and_look_up() {
+        let mut map: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            map.insert(i, (i * 2) as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(map.get(&i), Some(&((i * 2) as u32)));
+        }
+    }
+
+    #[test]
+    fn distinct_words_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(i);
+            seen.insert(hasher.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "64-bit outputs must not collide here");
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world!!"); // 13 bytes: one full chunk + remainder
+        let mut b = FxHasher::default();
+        b.write(b"hello world!?");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

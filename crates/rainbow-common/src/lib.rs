@@ -40,6 +40,7 @@
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod fxhash;
 pub mod ids;
 pub mod op;
 pub mod protocol;
@@ -51,6 +52,7 @@ pub mod value;
 pub use clock::{LamportClock, TimestampGenerator};
 pub use config::{DatabaseSchema, DistributionSchema, ItemSpec, ReplicationScheme, SiteSpec};
 pub use error::{RainbowError, RainbowResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{CopyId, HostId, ItemId, MessageId, SiteId, Timestamp, TxnId, Version};
 pub use op::{Operation, OperationKind};
 pub use protocol::{AcpKind, CcpKind, ProtocolStack, RcpKind};

@@ -17,21 +17,17 @@ use std::time::Duration;
 
 /// Replication control protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum RcpKind {
     /// Read-One-Write-All: reads touch any single copy, writes touch every
     /// copy. Cheap reads, but a single unavailable copy blocks writes.
     Rowa,
     /// Quorum Consensus (the Rainbow default): every copy carries a vote and
     /// a version number; reads and writes assemble intersecting quorums.
+    #[default]
     QuorumConsensus,
 }
 
-impl Default for RcpKind {
-    fn default() -> Self {
-        // "The default protocol for RCP in Rainbow is QC."
-        RcpKind::QuorumConsensus
-    }
-}
 
 impl fmt::Display for RcpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -44,8 +40,10 @@ impl fmt::Display for RcpKind {
 
 /// Concurrency control protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum CcpKind {
     /// Strict two-phase locking with deadlock handling.
+    #[default]
     TwoPhaseLocking,
     /// Basic timestamp ordering.
     TimestampOrdering,
@@ -54,11 +52,6 @@ pub enum CcpKind {
     MultiversionTimestampOrdering,
 }
 
-impl Default for CcpKind {
-    fn default() -> Self {
-        CcpKind::TwoPhaseLocking
-    }
-}
 
 impl fmt::Display for CcpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -72,18 +65,15 @@ impl fmt::Display for CcpKind {
 
 /// Atomic commitment protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum AcpKind {
     /// Two-phase commit (the Rainbow default).
+    #[default]
     TwoPhaseCommit,
     /// Three-phase commit (non-blocking extension, Section 5).
     ThreePhaseCommit,
 }
 
-impl Default for AcpKind {
-    fn default() -> Self {
-        AcpKind::TwoPhaseCommit
-    }
-}
 
 impl fmt::Display for AcpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -96,8 +86,10 @@ impl fmt::Display for AcpKind {
 
 /// Deadlock handling policy for the two-phase-locking CCP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum DeadlockPolicy {
     /// Maintain a wait-for graph and abort a victim when a cycle appears.
+    #[default]
     WaitForGraph,
     /// Wait-die: an older transaction may wait for a younger one; a younger
     /// requester is aborted ("dies") instead of waiting.
@@ -109,11 +101,6 @@ pub enum DeadlockPolicy {
     TimeoutOnly,
 }
 
-impl Default for DeadlockPolicy {
-    fn default() -> Self {
-        DeadlockPolicy::WaitForGraph
-    }
-}
 
 impl fmt::Display for DeadlockPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -146,6 +133,12 @@ pub struct ProtocolStack {
     /// Timeout used by the RCP when collecting copies/votes from copy
     /// holders.
     pub quorum_timeout: Duration,
+    /// When true (the default) the coordinator fans out the copy-access
+    /// requests of **all** of a transaction's operations concurrently and
+    /// collects the replies under one deadline; when false it assembles one
+    /// quorum at a time (the paper's strictly sequential RCP loop, kept for
+    /// comparison experiments and differential tests).
+    pub parallel_quorums: bool,
 }
 
 impl Default for ProtocolStack {
@@ -158,6 +151,7 @@ impl Default for ProtocolStack {
             lock_wait_timeout: Duration::from_millis(500),
             commit_timeout: Duration::from_millis(1000),
             quorum_timeout: Duration::from_millis(1000),
+            parallel_quorums: true,
         }
     }
 }
@@ -207,6 +201,13 @@ impl ProtocolStack {
     /// Builder-style quorum timeout.
     pub fn with_quorum_timeout(mut self, timeout: Duration) -> Self {
         self.quorum_timeout = timeout;
+        self
+    }
+
+    /// Builder-style quorum fan-out selection (`true` = all operations'
+    /// quorums are requested concurrently, `false` = one at a time).
+    pub fn with_parallel_quorums(mut self, parallel: bool) -> Self {
+        self.parallel_quorums = parallel;
         self
     }
 

@@ -33,8 +33,10 @@ pub fn derive_seed(master: u64, component: &str) -> u64 {
 
 /// How the workload generator picks the items a transaction accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum AccessDistribution {
     /// Every item equally likely.
+    #[default]
     Uniform,
     /// Zipf-distributed ranks with the given exponent (`theta` ≈ 0.8–1.2 are
     /// common contention settings).
@@ -52,11 +54,6 @@ pub enum AccessDistribution {
     },
 }
 
-impl Default for AccessDistribution {
-    fn default() -> Self {
-        AccessDistribution::Uniform
-    }
-}
 
 /// A sampler over `0..n` item indices following an [`AccessDistribution`].
 #[derive(Debug, Clone)]
@@ -222,7 +219,7 @@ mod tests {
     fn zipf_with_zero_theta_is_roughly_uniform() {
         let sampler = ItemSampler::new(10, AccessDistribution::Zipf { theta: 0.0 });
         let mut rng = seeded_rng(3);
-        let mut counts = vec![0u32; 10];
+        let mut counts = [0u32; 10];
         for _ in 0..10_000 {
             counts[sampler.sample(&mut rng)] += 1;
         }

@@ -365,6 +365,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn message_stats_merge_and_kind_lookup() {
         let mut a = MessageStats::default();
         a.sent = 10;

@@ -10,9 +10,11 @@ use std::fmt;
 
 /// A value stored in (one copy of) a database item.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum Value {
     /// Absence of a value; the state of an item that was declared but never
     /// written.
+    #[default]
     Null,
     /// 64-bit signed integer.
     Int(i64),
@@ -82,11 +84,6 @@ impl Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -35,7 +35,7 @@ pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
     let _ = writeln!(
         out,
         "response time mean/p95/p99  : {:.2} / {:.2} / {:.2} ms",
-        stats.response_time.mean_us as f64 / 1000.0,
+        stats.response_time.mean_us / 1000.0,
         stats.response_time.p95_us as f64 / 1000.0,
         stats.response_time.p99_us as f64 / 1000.0
     );

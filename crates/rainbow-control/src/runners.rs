@@ -86,6 +86,7 @@ impl<'a> ProgressRunner<'a> {
     /// at every holder site (used after failure/recovery experiments).
     /// Returns the list of items whose copies diverge, with the differing
     /// `(site, value, version)` triples.
+    #[allow(clippy::type_complexity)]
     pub fn replica_divergence(
         &self,
     ) -> RainbowResult<Vec<(ItemId, Vec<(SiteId, Value, Version)>)>> {

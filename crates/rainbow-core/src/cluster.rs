@@ -208,6 +208,21 @@ impl Cluster {
         self.monitor.snapshot()
     }
 
+    /// Total number of stale participant entries the janitors of all sites
+    /// have cleaned up. A non-zero value after a healthy (no-fault) workload
+    /// means some coordinator abandoned resources that only the janitor
+    /// recovered — a leak indicator for tests.
+    pub fn janitor_cleanups(&self) -> u64 {
+        self.sites
+            .values()
+            .map(|site| {
+                site.metrics()
+                    .janitor_cleanups
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
+            .sum()
+    }
+
     /// Number of transactions currently holding concurrency-control
     /// resources at each site. Useful in tests and experiment teardown to
     /// verify that no transaction leaked locks after a workload finished.

@@ -110,7 +110,30 @@ pub(crate) fn run_transaction(
 
 /// Executes every operation of the transaction through the RCP, collecting
 /// read values and the per-site write sets.
+///
+/// Two strategies exist. The default **parallel fan-out** sends the copy
+/// accesses of *all* operations up front and drains replies under one
+/// deadline, so a transaction's RCP latency is the slowest quorum instead of
+/// the sum of all quorums. The **sequential** path (protocol-stack knob
+/// `parallel_quorums = false`) assembles one quorum at a time, exactly as
+/// the paper describes the RCP loop; it is kept both as an experiment
+/// baseline and as a differential-testing oracle for the parallel path.
 fn execute_operations(
+    shared: &Arc<SiteShared>,
+    spec: &TxnSpec,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+) -> Result<(), AbortCause> {
+    if shared.stack.parallel_quorums {
+        execute_operations_parallel(shared, spec, exec, replies)
+    } else {
+        execute_operations_sequential(shared, spec, exec, replies)
+    }
+}
+
+/// The strictly sequential RCP loop: one quorum per operation, each with its
+/// own deadline.
+fn execute_operations_sequential(
     shared: &Arc<SiteShared>,
     spec: &TxnSpec,
     exec: &mut TxnExecution,
@@ -132,20 +155,207 @@ fn execute_operations(
                 // upgrades and a second quorum round.
                 let collector =
                     run_quorum(shared, exec, replies, item, QuorumAccess::ReadForUpdate)?;
-                let (current, _) = collector
+                apply_increment(shared, exec, item, *delta, &collector)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One operation's quorum being assembled during parallel fan-out.
+struct QuorumRound {
+    item: ItemId,
+    access: QuorumAccess,
+    collector: QuorumCollector,
+    assembled: bool,
+    /// First CCP denial observed by *this* round (abort causes must stay
+    /// per-quorum so layer attribution matches the sequential path).
+    ccp_cause: Option<AbortCause>,
+}
+
+impl QuorumRound {
+    /// Whether an incoming `CopyReply` from `site` belongs to this round:
+    /// the item and the exact access kind must match, the site must be one
+    /// this round actually contacted, and the round must not have heard
+    /// from the site yet. The last rule makes duplicate operations on the
+    /// same item each collect their own copy of every site's answer instead
+    /// of the first round swallowing all of them; the target rule keeps a
+    /// wider quorum's replies (e.g. a write fan-out) from being absorbed by
+    /// a narrower one on the same item (e.g. a one-site ROWA read whose
+    /// vote map nevertheless lists every holder).
+    fn matches(&self, item: &ItemId, prewrite: bool, for_update: bool, site: SiteId) -> bool {
+        !self.assembled
+            && self.item == *item
+            && (self.access == QuorumAccess::Write) == prewrite
+            && (self.access == QuorumAccess::ReadForUpdate) == for_update
+            && self.collector.is_target(site)
+            && !self.collector.has_response(site)
+            && !self.collector.has_failure(site)
+    }
+}
+
+/// Parallel fan-out: send the copy accesses of every operation first, then
+/// drain replies for all quorums under a single deadline.
+fn execute_operations_parallel(
+    shared: &Arc<SiteShared>,
+    spec: &TxnSpec,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+) -> Result<(), AbortCause> {
+    // Phase 1: plan and send everything.
+    let mut rounds: Vec<QuorumRound> = Vec::with_capacity(spec.operations.len());
+    for op in &spec.operations {
+        let (item, access) = match op {
+            Operation::Read { item } => (item, QuorumAccess::Read),
+            Operation::Write { item, .. } => (item, QuorumAccess::Write),
+            Operation::Increment { item, .. } => (item, QuorumAccess::ReadForUpdate),
+        };
+        let collector = start_quorum(shared, exec, item, access)?;
+        let assembled = collector.is_assembled();
+        rounds.push(QuorumRound {
+            item: item.clone(),
+            access,
+            collector,
+            assembled,
+            ccp_cause: None,
+        });
+    }
+
+    // Phase 2: one deadline for the whole fan-out.
+    let deadline = Instant::now() + shared.stack.quorum_timeout;
+    let mut outstanding = rounds.iter().filter(|r| !r.assembled).count();
+
+    while outstanding > 0 {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            let slowest = rounds
+                .iter()
+                .find(|r| !r.assembled)
+                .expect("outstanding > 0");
+            return Err(slowest.ccp_cause.clone().unwrap_or(AbortCause::RcpTimeout {
+                item: slowest.item.clone(),
+            }));
+        }
+        let envelope = match replies.recv_timeout(remaining) {
+            Ok(envelope) => envelope,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(AbortCause::SiteFailure { site: shared.id })
+            }
+        };
+        let from = envelope.from;
+        let Msg::CopyReply {
+            item: reply_item,
+            prewrite,
+            for_update,
+            result,
+            ..
+        } = envelope.payload
+        else {
+            // Late votes/acks from an earlier transaction attempt: ignore.
+            continue;
+        };
+        let Some(site) = from.as_site() else { continue };
+        // Route the reply to the first still-pending round it can serve.
+        // Duplicate (item, access) operations each sent their own requests,
+        // so reply counts line up even when keys collide.
+        let Some(round) = rounds
+            .iter_mut()
+            .find(|r| r.matches(&reply_item, prewrite, for_update, site))
+        else {
+            continue; // stale reply for an already-assembled quorum
+        };
+        if from != shared.node {
+            shared.net.counters().record_round_trip();
+        }
+        match result {
+            CopyAccessResult::Granted { value, version } => {
+                // The responder holds CCP resources on our behalf from this
+                // moment, whether or not its quorum ends up assembling.
+                exec.touched.insert(site);
+                round.collector.record_response(QuorumResponse {
+                    site,
+                    version,
+                    value,
+                });
+            }
+            CopyAccessResult::Denied(cause) => {
+                if round.ccp_cause.is_none() {
+                    round.ccp_cause = Some(cause);
+                }
+                round.collector.record_failure(site);
+            }
+            CopyAccessResult::NoSuchCopy => {
+                round.collector.record_failure(site);
+            }
+        }
+        match round.collector.outcome() {
+            QuorumOutcome::Assembled => {
+                round.assembled = true;
+                outstanding -= 1;
+            }
+            QuorumOutcome::Impossible => {
+                return Err(round
+                    .ccp_cause
+                    .clone()
+                    .unwrap_or_else(|| round.collector.abort_cause()));
+            }
+            QuorumOutcome::Pending => {}
+        }
+    }
+
+    // Phase 3: every quorum assembled — fold results back in operation
+    // order, so reads and write sets come out exactly as the sequential
+    // path produces them.
+    for (op, round) in spec.operations.iter().zip(rounds.iter()) {
+        for site in round.collector.responders() {
+            exec.touched.insert(site);
+        }
+        match op {
+            Operation::Read { item } => {
+                let (value, _) = round
+                    .collector
                     .latest_value()
                     .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
-                let new_value = current.add_int(*delta).ok_or(AbortCause::UserAbort)?;
-                exec.reads.insert(item.clone(), current);
-                let new_version = new_write_version(shared, exec, &collector);
-                for site in collector.responders() {
+                exec.reads.insert(item.clone(), value);
+            }
+            Operation::Write { item, value } => {
+                let new_version = new_write_version(shared, exec, &round.collector);
+                for site in round.collector.responders() {
                     exec.writes_per_site
                         .entry(site)
                         .or_default()
-                        .push((item.clone(), new_value.clone(), new_version));
+                        .push((item.clone(), value.clone(), new_version));
                 }
             }
+            Operation::Increment { item, delta } => {
+                apply_increment(shared, exec, item, *delta, &round.collector)?;
+            }
         }
+    }
+    Ok(())
+}
+
+/// Folds an assembled read-for-update quorum into an increment operation's
+/// read value and write set.
+fn apply_increment(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    item: &ItemId,
+    delta: i64,
+    collector: &QuorumCollector,
+) -> Result<(), AbortCause> {
+    let (current, _) = collector
+        .latest_value()
+        .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
+    let new_value = current.add_int(delta).ok_or(AbortCause::UserAbort)?;
+    exec.reads.insert(item.clone(), current);
+    let new_version = new_write_version(shared, exec, collector);
+    for site in collector.responders() {
+        exec.writes_per_site
+            .entry(site)
+            .or_default()
+            .push((item.clone(), new_value.clone(), new_version));
     }
     Ok(())
 }
@@ -220,12 +430,12 @@ fn write_quorum(
     Ok(())
 }
 
-/// Sends the copy-access requests for one quorum and collects responses
-/// until the quorum is assembled, impossible, or the quorum timeout expires.
-fn run_quorum(
+/// Plans one quorum and sends its copy-access requests to every target
+/// site, returning the collector the replies feed into. Shared by the
+/// sequential and the parallel fan-out paths.
+fn start_quorum(
     shared: &Arc<SiteShared>,
     exec: &mut TxnExecution,
-    replies: &Receiver<Envelope<Msg>>,
     item: &ItemId,
     access: QuorumAccess,
 ) -> Result<QuorumCollector, AbortCause> {
@@ -259,11 +469,8 @@ fn run_quorum(
             shared.rcp.plan_write(item, &placement)
         }
     };
-    // Only plain pre-writes come back flagged as pre-write replies;
-    // read-for-update accesses reply like reads (they carry the value).
-    let is_prewrite = access == QuorumAccess::Write;
     let targets = plan.targets.clone();
-    let mut collector = plan.collector();
+    let collector = plan.collector();
 
     for target in &targets {
         let msg = match access {
@@ -291,6 +498,22 @@ fn run_quorum(
             exec.messages += 1;
         }
     }
+    Ok(collector)
+}
+
+/// Sends the copy-access requests for one quorum and collects responses
+/// until the quorum is assembled, impossible, or the quorum timeout expires.
+fn run_quorum(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+    item: &ItemId,
+    access: QuorumAccess,
+) -> Result<QuorumCollector, AbortCause> {
+    // Only plain pre-writes come back flagged as pre-write replies;
+    // read-for-update accesses reply like reads (they carry the value).
+    let is_prewrite = access == QuorumAccess::Write;
+    let mut collector = start_quorum(shared, exec, item, access)?;
 
     let deadline = Instant::now() + shared.stack.quorum_timeout;
     let mut first_ccp_cause: Option<AbortCause> = None;
@@ -328,11 +551,15 @@ fn run_quorum(
                 if let Msg::CopyReply {
                     item: reply_item,
                     prewrite,
+                    for_update,
                     result,
                     ..
                 } = envelope.payload
                 {
-                    if reply_item != *item || prewrite != is_prewrite {
+                    if reply_item != *item
+                        || prewrite != is_prewrite
+                        || for_update != (access == QuorumAccess::ReadForUpdate)
+                    {
                         continue; // stale reply from an earlier operation
                     }
                     let Some(site) = from_site else { continue };

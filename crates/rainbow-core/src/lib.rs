@@ -17,9 +17,10 @@
 //! * [`coordinator`] — the home-site transaction manager: drives the RCP
 //!   (quorum building per operation), then the ACP, and classifies aborts by
 //!   the layer that caused them;
-//! * [`cluster`] — builds a complete Rainbow instance (network + name server
-//!   + sites) from configuration and offers the client API used by the
-//!   workload generator, the Session layer, the examples and the benches;
+//! * [`cluster`] — builds a complete Rainbow instance (network + name
+//!   server + sites) from configuration and offers the client API used by
+//!   the workload generator, the Session layer, the examples and the
+//!   benches;
 //! * [`metrics`] — per-site metrics and the global progress monitor.
 
 #![warn(missing_docs)]

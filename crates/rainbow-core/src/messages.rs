@@ -101,6 +101,12 @@ pub enum Msg {
         item: ItemId,
         /// Whether the reply answers a pre-write (true) or a read (false).
         prewrite: bool,
+        /// Whether the reply answers a read-for-update access. Together
+        /// with `prewrite` this identifies the access kind exactly, so the
+        /// coordinator can route concurrent quorums over the same item
+        /// without cross-attributing a read's grant to a read-for-update's
+        /// denial (or vice versa).
+        for_update: bool,
         /// The outcome.
         result: CopyAccessResult,
     },
@@ -294,6 +300,7 @@ mod tests {
             txn: txn(),
             item: ItemId::new("x"),
             prewrite: false,
+            for_update: false,
             result: CopyAccessResult::NoSuchCopy,
         }
         .is_coordinator_response());

@@ -36,6 +36,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// The writes of one transaction destined for (or recovered at) this site.
+pub(crate) type WriteSet = Vec<(ItemId, Value, Version)>;
+
 /// Participant-side bookkeeping for one transaction at this site.
 pub(crate) struct ParticipantEntry {
     pub machine: Participant,
@@ -66,7 +69,7 @@ pub(crate) struct SiteShared {
     pub finished: Mutex<std::collections::HashSet<TxnId>>,
     /// In-doubt transactions found during crash recovery, waiting for a
     /// status reply from their coordinator.
-    pub in_doubt: Mutex<HashMap<TxnId, Vec<(ItemId, Value, Version)>>>,
+    pub in_doubt: Mutex<HashMap<TxnId, WriteSet>>,
     pub txn_seq: AtomicU64,
     pub clock: TimestampGenerator,
     pub shutdown: Arc<AtomicBool>,
@@ -436,6 +439,7 @@ fn handle_copy_access(
                 txn,
                 item: item.clone(),
                 prewrite: access == CopyAccess::Prewrite,
+                for_update: access == CopyAccess::Read { for_update: true },
                 result: CopyAccessResult::Denied(
                     rainbow_common::txn::AbortCause::CcpLockConflict {
                         item: item.clone(),
@@ -518,6 +522,7 @@ fn handle_copy_access(
             txn,
             item,
             prewrite: is_prewrite_reply,
+            for_update: access == CopyAccess::Read { for_update: true },
             result,
         },
     );
@@ -551,19 +556,16 @@ fn handle_prepare(
         entry.last_activity = Instant::now();
         entry.machine.on_prepare(can_commit)
     };
-    match action {
-        ParticipantAction::SendVote(vote) => {
-            if vote == Vote::Yes {
-                SiteMetrics::bump(&shared.metrics.votes_yes);
-            } else {
-                SiteMetrics::bump(&shared.metrics.votes_no);
-                // Voting NO releases local resources immediately.
-                shared.storage.abort(txn);
-                ccp.abort(&ctx);
-            }
-            shared.send(from, Msg::AcpVote { txn, vote });
+    if let ParticipantAction::SendVote(vote) = action {
+        if vote == Vote::Yes {
+            SiteMetrics::bump(&shared.metrics.votes_yes);
+        } else {
+            SiteMetrics::bump(&shared.metrics.votes_no);
+            // Voting NO releases local resources immediately.
+            shared.storage.abort(txn);
+            ccp.abort(&ctx);
         }
-        _ => {}
+        shared.send(from, Msg::AcpVote { txn, vote });
     }
 }
 

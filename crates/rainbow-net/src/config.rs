@@ -12,8 +12,10 @@ use std::time::Duration;
 
 /// How long a message takes from sender to receiver.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum LatencyModel {
     /// Deliver immediately (useful for protocol unit tests).
+    #[default]
     None,
     /// A fixed one-way delay in microseconds.
     Constant {
@@ -36,11 +38,6 @@ pub enum LatencyModel {
     },
 }
 
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel::None
-    }
-}
 
 impl LatencyModel {
     /// Convenience constructor: a constant delay.

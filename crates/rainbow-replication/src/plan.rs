@@ -110,6 +110,24 @@ impl QuorumCollector {
         self.outcome()
     }
 
+    /// Whether a positive response from `site` has already been recorded.
+    pub fn has_response(&self, site: SiteId) -> bool {
+        self.responses.contains_key(&site)
+    }
+
+    /// Whether `site` is one of the sites this plan actually contacted.
+    /// (The votes map can cover *all* copy holders — e.g. a ROWA read plan
+    /// targets one site — so response routing must check targets, not
+    /// votes.)
+    pub fn is_target(&self, site: SiteId) -> bool {
+        self.plan.targets.contains(&site)
+    }
+
+    /// Whether `site` has already been recorded as failed.
+    pub fn has_failure(&self, site: SiteId) -> bool {
+        self.failed.contains(&site)
+    }
+
     /// Votes collected so far.
     pub fn collected_votes(&self) -> u32 {
         self.responses

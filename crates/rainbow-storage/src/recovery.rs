@@ -40,56 +40,77 @@ pub struct RecoveryOutcome {
 
 /// Replays the durable portion of `log` and returns the recovered state and
 /// in-doubt transaction list.
+///
+/// The replay borrows the log's record buffer in place
+/// ([`WriteAheadLog::with_durable_records`]) instead of cloning the whole
+/// durable prefix: only the writes that actually survive into the recovered
+/// state (checkpoint snapshots, winning commits, in-doubt prepares) are
+/// copied out.
 pub fn recover(log: &WriteAheadLog) -> RecoveryOutcome {
-    let records = log.durable_records();
-    let mut state: BTreeMap<ItemId, CopyState> = BTreeMap::new();
-    let mut prepared: BTreeMap<TxnId, Vec<(ItemId, Value, Version)>> = BTreeMap::new();
-    let replayed_records = records.len();
+    log.with_durable_records(|records| {
+        let mut state: BTreeMap<ItemId, CopyState> = BTreeMap::new();
+        let mut prepared: BTreeMap<TxnId, Vec<(ItemId, Value, Version)>> = BTreeMap::new();
+        let replayed_records = records.len();
 
-    for record in records {
-        match record {
-            LogRecord::Checkpoint { state: snapshot } => {
-                // A checkpoint supersedes everything replayed so far.
-                state = snapshot
-                    .into_iter()
-                    .map(|(item, value, version)| (item, CopyState { value, version }))
-                    .collect();
-                prepared.clear();
-            }
-            LogRecord::Begin { .. } => {}
-            LogRecord::Prepare { txn, writes } => {
-                prepared.insert(txn, writes);
-            }
-            LogRecord::Commit { txn, writes } => {
-                prepared.remove(&txn);
-                for (item, value, version) in writes {
-                    // Only move versions forward: replaying an old commit
-                    // after a newer checkpoint must not regress state.
-                    let newer = state
-                        .get(&item)
-                        .map(|existing| version >= existing.version)
-                        .unwrap_or(true);
-                    if newer {
-                        state.insert(item, CopyState { value, version });
+        for record in records {
+            match record {
+                LogRecord::Checkpoint { state: snapshot } => {
+                    // A checkpoint supersedes everything replayed so far.
+                    state = snapshot
+                        .iter()
+                        .map(|(item, value, version)| {
+                            (
+                                item.clone(),
+                                CopyState {
+                                    value: value.clone(),
+                                    version: *version,
+                                },
+                            )
+                        })
+                        .collect();
+                    prepared.clear();
+                }
+                LogRecord::Begin { .. } => {}
+                LogRecord::Prepare { txn, writes } => {
+                    prepared.insert(*txn, writes.clone());
+                }
+                LogRecord::Commit { txn, writes } => {
+                    prepared.remove(txn);
+                    for (item, value, version) in writes {
+                        // Only move versions forward: replaying an old commit
+                        // after a newer checkpoint must not regress state.
+                        let newer = state
+                            .get(item)
+                            .map(|existing| *version >= existing.version)
+                            .unwrap_or(true);
+                        if newer {
+                            state.insert(
+                                item.clone(),
+                                CopyState {
+                                    value: value.clone(),
+                                    version: *version,
+                                },
+                            );
+                        }
                     }
                 }
-            }
-            LogRecord::Abort { txn } => {
-                prepared.remove(&txn);
+                LogRecord::Abort { txn } => {
+                    prepared.remove(txn);
+                }
             }
         }
-    }
 
-    let in_doubt = prepared
-        .into_iter()
-        .map(|(txn, writes)| InDoubtTxn { txn, writes })
-        .collect();
+        let in_doubt = prepared
+            .into_iter()
+            .map(|(txn, writes)| InDoubtTxn { txn, writes })
+            .collect();
 
-    RecoveryOutcome {
-        state,
-        in_doubt,
-        replayed_records,
-    }
+        RecoveryOutcome {
+            state,
+            in_doubt,
+            replayed_records,
+        }
+    })
 }
 
 #[cfg(test)]

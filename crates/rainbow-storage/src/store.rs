@@ -4,7 +4,7 @@
 use crate::recovery::{recover, RecoveryOutcome};
 use crate::wal::{LogRecord, WriteAheadLog};
 use parking_lot::RwLock;
-use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version};
+use rainbow_common::{FxHashMap, ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -31,10 +31,15 @@ impl CopyState {
 
 /// The volatile in-memory store: committed copies plus per-transaction
 /// staged (pre-written) updates. Everything here is lost on a crash.
+///
+/// Copies are indexed by hash map — with interned [`ItemId`]s a lookup
+/// hashes one precomputed `u64` instead of walking a `BTreeMap` of string
+/// comparisons. [`VersionedStore::snapshot`] sorts by item name, so
+/// externally observable orderings are unchanged.
 #[derive(Debug, Default)]
 pub struct VersionedStore {
-    copies: BTreeMap<ItemId, CopyState>,
-    staged: BTreeMap<TxnId, BTreeMap<ItemId, (Value, Version)>>,
+    copies: FxHashMap<ItemId, CopyState>,
+    staged: FxHashMap<TxnId, FxHashMap<ItemId, (Value, Version)>>,
 }
 
 impl VersionedStore {
@@ -79,21 +84,26 @@ impl VersionedStore {
             .insert(item, (value, version));
     }
 
-    /// The writes currently staged by a transaction.
+    /// The writes currently staged by a transaction, sorted by item name
+    /// (the staging index is a hash map; sorting keeps log records and
+    /// prepare messages deterministic).
     pub fn staged_writes(&self, txn: &TxnId) -> Vec<(ItemId, Value, Version)> {
         self.staged
             .get(txn)
             .map(|writes| {
-                writes
+                let mut out: Vec<(ItemId, Value, Version)> = writes
                     .iter()
                     .map(|(item, (value, version))| (item.clone(), value.clone(), *version))
-                    .collect()
+                    .collect();
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                out
             })
             .unwrap_or_default()
     }
 
     /// Installs the staged writes of a transaction into the committed state
-    /// and clears its staging area. Returns the installed writes.
+    /// and clears its staging area. Returns the installed writes (sorted by
+    /// item name, matching [`VersionedStore::staged_writes`]).
     pub fn install(&mut self, txn: &TxnId) -> Vec<(ItemId, Value, Version)> {
         let writes = self.staged.remove(txn).unwrap_or_default();
         let mut installed = Vec::with_capacity(writes.len());
@@ -107,6 +117,7 @@ impl VersionedStore {
             );
             installed.push((item, value, version));
         }
+        installed.sort_by(|a, b| a.0.cmp(&b.0));
         installed
     }
 
@@ -129,9 +140,11 @@ impl VersionedStore {
         self.staged.remove(txn);
     }
 
-    /// Transactions that currently have staged writes.
+    /// Transactions that currently have staged writes (sorted).
     pub fn staging_txns(&self) -> Vec<TxnId> {
-        self.staged.keys().copied().collect()
+        let mut txns: Vec<TxnId> = self.staged.keys().copied().collect();
+        txns.sort_unstable();
+        txns
     }
 
     /// Number of items stored.
@@ -144,13 +157,16 @@ impl VersionedStore {
         self.copies.is_empty()
     }
 
-    /// A snapshot of every committed copy, used for checkpoints and replica
-    /// convergence checks.
+    /// A snapshot of every committed copy, sorted by item name; used for
+    /// checkpoints and replica convergence checks.
     pub fn snapshot(&self) -> Vec<(ItemId, Value, Version)> {
-        self.copies
+        let mut snapshot: Vec<(ItemId, Value, Version)> = self
+            .copies
             .iter()
             .map(|(item, state)| (item.clone(), state.value.clone(), state.version))
-            .collect()
+            .collect();
+        snapshot.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot
     }
 
     /// Clears everything (simulating the loss of volatile memory).
@@ -161,7 +177,7 @@ impl VersionedStore {
 
     /// Replaces the committed state wholesale (used by recovery).
     pub fn load(&mut self, state: BTreeMap<ItemId, CopyState>) {
-        self.copies = state;
+        self.copies = state.into_iter().collect();
         self.staged.clear();
     }
 }
@@ -193,9 +209,12 @@ impl SiteStorage {
         self.site
     }
 
-    /// The underlying write-ahead log (shared handle).
-    pub fn log(&self) -> WriteAheadLog {
-        self.log.clone()
+    /// The underlying write-ahead log, by reference. (Callers that need an
+    /// owned shared handle can `.clone()` it — the log is an `Arc`
+    /// internally — but the borrow avoids even that refcount traffic on
+    /// per-call paths.)
+    pub fn log(&self) -> &WriteAheadLog {
+        &self.log
     }
 
     /// Creates the given items with their initial values and writes a

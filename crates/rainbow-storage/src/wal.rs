@@ -143,10 +143,19 @@ impl WriteAheadLog {
 
     /// A copy of every record that would survive a crash, i.e. the forced
     /// prefix of the log. Unforced tail records are lost by
-    /// [`WriteAheadLog::simulate_crash`].
+    /// [`WriteAheadLog::simulate_crash`]. Prefer
+    /// [`WriteAheadLog::with_durable_records`] on hot paths — this method
+    /// clones the whole prefix.
     pub fn durable_records(&self) -> Vec<LogRecord> {
         let inner = self.inner.lock();
         inner.records[..inner.forced_up_to].to_vec()
+    }
+
+    /// Runs `f` over the durable (forced) prefix of the log **without
+    /// copying it**. The log's lock is held for the duration of `f`.
+    pub fn with_durable_records<R>(&self, f: impl FnOnce(&[LogRecord]) -> R) -> R {
+        let inner = self.inner.lock();
+        f(&inner.records[..inner.forced_up_to])
     }
 
     /// A copy of every record including the unforced tail (used by tests and

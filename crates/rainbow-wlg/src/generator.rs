@@ -8,8 +8,10 @@ use serde::{Deserialize, Serialize};
 
 /// How transactions are assigned a home site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum HomePolicy {
     /// Let the cluster pick (round-robin at submission time).
+    #[default]
     ClusterChoice,
     /// Round-robin over the configured sites, decided by the generator.
     RoundRobin,
@@ -20,11 +22,6 @@ pub enum HomePolicy {
     Fixed(SiteId),
 }
 
-impl Default for HomePolicy {
-    fn default() -> Self {
-        HomePolicy::ClusterChoice
-    }
-}
 
 /// Parameters of a simulated workload — the fields of the "simulated
 /// workload generation panel".

@@ -1,0 +1,269 @@
+//! Minimal `criterion` shim.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark warms up, then takes
+//! `sample_size` timed samples within (approximately) `measurement_time`,
+//! and reports the median, fastest and slowest per-iteration time.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// shim sizes batches from the measured routine cost instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A single benchmark's measurement driver.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median / min / max nanoseconds per iteration, filled by `iter*`.
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl<'a> Bencher<'a> {
+    /// Benchmarks `routine` by calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, measuring the cost
+        // of one call so the sample loop can batch appropriately.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut calls = 0u64;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+
+        // Aim each sample at measurement_time / sample_size.
+        let per_sample_ns =
+            self.config.measurement_time.as_nanos() as f64 / self.config.sample_size as f64;
+        let batch = ((per_sample_ns / per_call.max(1.0)).ceil() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let mut iterations = 0u64;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            samples_ns.push(elapsed / batch as f64);
+            iterations += batch;
+        }
+        self.record(samples_ns, iterations);
+    }
+
+    /// Benchmarks `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let mut iterations = 0u64;
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let output = routine(input);
+            let elapsed = start.elapsed().as_nanos() as f64;
+            black_box(output);
+            samples_ns.push(elapsed);
+            iterations += 1;
+        }
+        self.record(samples_ns, iterations);
+    }
+
+    fn record(&mut self, mut samples_ns: Vec<f64>, iterations: u64) {
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        self.result = Some(Sample {
+            median_ns,
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().expect("at least one sample"),
+            iterations,
+        });
+    }
+}
+
+/// The benchmark harness configuration and runner.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(sample) => {
+                println!(
+                    "{name:<55} median {:>12} (min {}, max {}, {} iters)",
+                    format_ns(sample.median_ns),
+                    format_ns(sample.min_ns),
+                    format_ns(sample.max_ns),
+                    sample.iterations,
+                );
+            }
+            None => println!("{name:<55} (no measurement recorded)"),
+        }
+        self
+    }
+
+    /// Criterion's explicit summary hook (a no-op here: results print as
+    /// each benchmark finishes).
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut counter = 0u64;
+        criterion.bench_function("shim/self-test", |b| {
+            b.iter(|| {
+                counter = counter.wrapping_add(1);
+                counter
+            })
+        });
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut criterion = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        criterion.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+    }
+}

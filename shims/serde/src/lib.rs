@@ -1,0 +1,530 @@
+//! Minimal serde-compatible serialization framework.
+//!
+//! The real `serde` is unavailable in this build environment, so this crate
+//! supplies the same *spelling* — `Serialize` / `Deserialize` traits and
+//! derive macros — over a much simpler data model: every value serializes
+//! into a self-describing [`Content`] tree, and `serde_json` (the sibling
+//! shim) renders that tree as JSON. Conventions follow serde where they are
+//! observable: structs become maps, newtype structs are transparent, enums
+//! are externally tagged, and `Duration` becomes `{secs, nanos}`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate value every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer outside `i64` range.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A string-keyed map (JSON object). Field order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, when this content is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, when this content is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, when this content is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short label of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be serialized into [`Content`].
+pub trait Serialize {
+    /// Serializes `self` into the intermediate content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be deserialized from [`Content`].
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the intermediate content tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Alias matching serde's `DeserializeOwned` bound.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let value: i64 = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    other => return Err(DeError::custom(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                };
+                <$t>::try_from(value).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Content::I64(v as i64) } else { Content::U64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let value: u64 = match content {
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::custom("negative integer for unsigned field"))?,
+                    Content::U64(v) => *v,
+                    other => return Err(DeError::custom(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                };
+                <$t>::try_from(value).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::custom(format!(
+                "expected float, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, found {}", content.kind())))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(content).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content.as_seq().ok_or_else(|| {
+                    DeError::custom(format!("expected tuple sequence, found {}", content.kind()))
+                })?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected} elements, found {}", seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// Maps serialize as sequences of `[key, value]` pairs. Unlike JSON objects
+// this supports non-string keys (Rainbow keys maps by ItemId, SiteId, TxnId)
+// and round-trips through the same shims that wrote them.
+macro_rules! impl_map {
+    ($map:ident, $($bound:tt)+) => {
+        impl<K: Serialize + $($bound)+, V: Serialize> Serialize for $map<K, V> {
+            fn to_content(&self) -> Content {
+                Content::Seq(
+                    self.iter()
+                        .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $map<K, V> {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content.as_seq().ok_or_else(|| {
+                    DeError::custom(format!("expected map sequence, found {}", content.kind()))
+                })?;
+                seq.iter()
+                    .map(|pair| {
+                        let kv = pair.as_seq().filter(|s| s.len() == 2).ok_or_else(|| {
+                            DeError::custom("expected [key, value] pair")
+                        })?;
+                        Ok((K::from_content(&kv[0])?, V::from_content(&kv[1])?))
+                    })
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_map!(BTreeMap, Ord);
+impl_map!(HashMap, Eq + Hash);
+
+macro_rules! impl_set {
+    ($set:ident, $($bound:tt)+) => {
+        impl<T: Serialize + $($bound)+> Serialize for $set<T> {
+            fn to_content(&self) -> Content {
+                Content::Seq(self.iter().map(Serialize::to_content).collect())
+            }
+        }
+        impl<T: Deserialize + $($bound)+> Deserialize for $set<T> {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                content
+                    .as_seq()
+                    .ok_or_else(|| {
+                        DeError::custom(format!("expected sequence, found {}", content.kind()))
+                    })?
+                    .iter()
+                    .map(T::from_content)
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_set!(BTreeSet, Ord);
+impl_set!(HashSet, Eq + Hash);
+
+impl Serialize for Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Content::I64(i64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let map = content.as_map().ok_or_else(|| {
+            DeError::custom(format!("expected duration map, found {}", content.kind()))
+        })?;
+        let secs: u64 = get_field(map, "secs")?;
+        let nanos: u32 = get_field(map, "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+/// Looks up and deserializes a struct field by name (derive-macro helper).
+pub fn get_field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match map.iter().find(|(key, _)| key == name) {
+        Some((_, value)) => T::from_content(value)
+            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        None => Err(DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<u32>::None.to_content(), Content::Null);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::I64(3)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        m.insert("b".to_string(), 2i64);
+        assert_eq!(
+            BTreeMap::<String, i64>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+        let t = (1u8, "x".to_string(), -4i64);
+        assert_eq!(
+            <(u8, String, i64)>::from_content(&t.to_content()).unwrap(),
+            t
+        );
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = Duration::new(3, 250_000_000);
+        assert_eq!(Duration::from_content(&d.to_content()).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let map = vec![("present".to_string(), Content::I64(1))];
+        let err = get_field::<u64>(&map, "absent").unwrap_err();
+        assert!(err.to_string().contains("absent"));
+    }
+}

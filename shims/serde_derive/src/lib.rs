@@ -1,0 +1,455 @@
+//! Derive macros for the in-tree mini-serde.
+//!
+//! `syn`/`quote` are unavailable in this build environment, so the input
+//! item is parsed directly from the `proc_macro::TokenStream`. Supported
+//! shapes are exactly what Rainbow derives on: non-generic structs (named,
+//! tuple and unit) and non-generic enums with unit / tuple / struct
+//! variants. `#[serde(...)]` attributes are not supported (none are used).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to.
+enum Item {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` — one-field tuples serialize transparently.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (mini-serde flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(message) => error(&message),
+    }
+}
+
+/// Derives `serde::Deserialize` (mini-serde flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(message) => error(&message),
+    }
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "mini-serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream())?,
+                })
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(group.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(group.stream())?,
+                })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant body at top-level commas, ignoring commas nested
+/// in groups or between angle brackets (`BTreeMap<K, V>`).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i32 = 0;
+    let mut prev_char = ' ';
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => angle_depth += 1,
+                    // `->` must not close an angle bracket.
+                    '>' if prev_char != '-' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        pieces.push(std::mem::take(&mut current));
+                        prev_char = ' ';
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_char = c;
+            }
+            _ => prev_char = ' ',
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&piece, &mut pos);
+        match piece.get(pos) {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&piece, &mut pos);
+        let name = match piece.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let kind = match piece.get(pos) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(group.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "mini-serde derive does not support explicit discriminants (variant `{name}`)"
+                ))
+            }
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Seq(vec![{elems}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{v} => ::serde::Content::Str({v:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{v}(f0) => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let elems: String = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({}) => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                                 ::serde::Content::Seq(vec![{elems}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_content({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binders} }} => ::serde::Content::Map(vec![\
+                                 ({v:?}.to_string(), ::serde::Content::Map(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(map, {f:?})?,"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                        -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let map = content.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                             format!(\"expected map for struct {name}, found {{}}\", content.kind())))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) \
+                    -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_content(content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?,"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                        -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let seq = content.as_seq().filter(|s| s.len() == {arity})\
+                             .ok_or_else(|| ::serde::DeError::custom(\
+                                 \"expected sequence of {arity} for tuple struct {name}\"))?;\n\
+                         Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(_content: &::serde::Content) \
+                    -> ::std::result::Result<Self, ::serde::DeError> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{0:?} => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => format!("{v:?} => Ok({name}::{v}),"),
+                        VariantKind::Tuple(1) => format!(
+                            "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_content(payload)?)),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let inits: String = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&seq[{i}])?,")
+                                })
+                                .collect();
+                            format!(
+                                "{v:?} => {{\n\
+                                     let seq = payload.as_seq().filter(|s| s.len() == {arity})\
+                                         .ok_or_else(|| ::serde::DeError::custom(\
+                                             \"expected sequence of {arity} for variant {v}\"))?;\n\
+                                     Ok({name}::{v}({inits}))\n\
+                                 }}"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::get_field(map, {f:?})?,"))
+                                .collect();
+                            format!(
+                                "{v:?} => {{\n\
+                                     let map = payload.as_map().ok_or_else(|| \
+                                         ::serde::DeError::custom(\
+                                             \"expected map for variant {v}\"))?;\n\
+                                     Ok({name}::{v} {{ {inits} }})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                        -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant `{{other}}` of enum {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::DeError::custom(format!(\
+                                         \"unknown variant `{{other}}` of enum {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                                 \"expected enum {name} tag, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

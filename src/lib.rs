@@ -1,0 +1,13 @@
+//! Workspace facade crate: re-exports every Rainbow layer so integration
+//! tests and examples can depend on a single crate, mirroring how the paper's
+//! applet bundles the whole system behind one entry point.
+
+pub use rainbow_cc as cc;
+pub use rainbow_commit as commit;
+pub use rainbow_common as common;
+pub use rainbow_control as control;
+pub use rainbow_core as core;
+pub use rainbow_net as net;
+pub use rainbow_replication as replication;
+pub use rainbow_storage as storage;
+pub use rainbow_wlg as wlg;

@@ -96,6 +96,7 @@ fn saved_configuration_reproduces_the_same_experiment() {
 }
 
 #[test]
+#[allow(clippy::field_reassign_with_default)]
 fn configuration_validation_rejects_every_kind_of_mistake() {
     // Unknown copy-holder site.
     let mut config = SessionConfig::default();
