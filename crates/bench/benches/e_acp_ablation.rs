@@ -25,7 +25,15 @@ fn main() {
     );
     let mut kinds = ExperimentTable::new(
         "commit-protocol messages by kind",
-        &["ACP", "PREPARE", "VOTE", "PRECOMMIT", "PRECOMMIT_ACK", "DECISION", "ACK"],
+        &[
+            "ACP",
+            "PREPARE",
+            "VOTE",
+            "PRECOMMIT",
+            "PRECOMMIT_ACK",
+            "DECISION",
+            "ACK",
+        ],
     );
     let mut detail = Vec::new();
 
@@ -38,7 +46,11 @@ fn main() {
             .with_transactions(150)
             .with_mpl(8)
             .with_seed(11)
-            .with_stack(stack(RcpKind::QuorumConsensus, CcpKind::TwoPhaseLocking, acp));
+            .with_stack(stack(
+                RcpKind::QuorumConsensus,
+                CcpKind::TwoPhaseLocking,
+                acp,
+            ));
         let mut point = run_experiment(&spec);
         point.label = acp.to_string();
         summary.row(&[

@@ -41,7 +41,11 @@ fn main() {
                 .with_transactions(150)
                 .with_mpl(mpl)
                 .with_seed(mpl as u64)
-                .with_stack(stack(RcpKind::QuorumConsensus, ccp, AcpKind::TwoPhaseCommit));
+                .with_stack(stack(
+                    RcpKind::QuorumConsensus,
+                    ccp,
+                    AcpKind::TwoPhaseCommit,
+                ));
             let mut point = run_experiment(&spec);
             point.label = format!("{ccp} mpl={mpl}");
             summary.row(&[

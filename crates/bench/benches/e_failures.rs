@@ -22,7 +22,14 @@ fn main() {
 
     let mut summary = ExperimentTable::new(
         "commit rate vs crashed sites (5 sites, write-heavy, replication degree 5)",
-        &["RCP", "crashed", "commit%", "abort%RCP", "orphans", "msgs/txn"],
+        &[
+            "RCP",
+            "crashed",
+            "commit%",
+            "abort%RCP",
+            "orphans",
+            "msgs/txn",
+        ],
     );
     let mut detail = Vec::new();
 
@@ -40,7 +47,11 @@ fn main() {
                 .with_transactions(100)
                 .with_mpl(8)
                 .with_seed(crashed as u64 + 1)
-                .with_stack(stack(rcp, CcpKind::TwoPhaseLocking, AcpKind::TwoPhaseCommit))
+                .with_stack(stack(
+                    rcp,
+                    CcpKind::TwoPhaseLocking,
+                    AcpKind::TwoPhaseCommit,
+                ))
                 .with_crashed_sites(crash_sites);
             let mut point = run_experiment(&spec);
             point.label = format!("{rcp} crashed={crashed}");

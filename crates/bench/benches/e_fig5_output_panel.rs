@@ -19,7 +19,10 @@ fn main() {
         .with_transactions(200)
         .with_profile(WorkloadProfile::ReadHeavy);
     let point = run_experiment(&spec);
-    println!("{}", render_stats_panel("default Rainbow session", &point.stats));
+    println!(
+        "{}",
+        render_stats_panel("default Rainbow session", &point.stats)
+    );
 
     // A second panel under the contention workload, which is what makes the
     // abort-by-cause breakdown non-trivial.

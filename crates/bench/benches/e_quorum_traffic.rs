@@ -23,7 +23,13 @@ fn main() {
 
     let mut summary = ExperimentTable::new(
         "messages per transaction: QC vs ROWA",
-        &["profile", "degree", "ROWA msgs/txn", "QC msgs/txn", "winner"],
+        &[
+            "profile",
+            "degree",
+            "ROWA msgs/txn",
+            "QC msgs/txn",
+            "winner",
+        ],
     );
     let mut detail_points = Vec::new();
 

@@ -20,7 +20,14 @@ fn main() {
 
     let mut summary = ExperimentTable::new(
         "throughput and response time vs number of sites (read-heavy, MPL sweep)",
-        &["sites", "MPL", "tput/s", "rt-mean ms", "rt-p95 ms", "imbalance"],
+        &[
+            "sites",
+            "MPL",
+            "tput/s",
+            "rt-mean ms",
+            "rt-p95 ms",
+            "imbalance",
+        ],
     );
     let mut detail = Vec::new();
 

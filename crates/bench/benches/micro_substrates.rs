@@ -55,7 +55,10 @@ fn bench_tso(c: &mut Criterion) {
             let current = (Value::Int(0), Version(0));
             assert!(tso.read(&ctx, &item, current.clone()).is_granted());
             assert!(tso.prewrite(&ctx, &item, current).is_granted());
-            tso.commit(&ctx, &[(item.clone(), Value::Int(seq as i64), Version(seq))]);
+            tso.commit(
+                &ctx,
+                &[(item.clone(), Value::Int(seq as i64), Version(seq))],
+            );
         });
     });
 }

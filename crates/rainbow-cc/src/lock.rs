@@ -658,8 +658,10 @@ mod tests {
     #[test]
     fn shared_locks_are_compatible() {
         let lm = manager(DeadlockPolicy::WaitForGraph);
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Shared).unwrap();
-        lm.acquire(txn(2), ts(2), &item("x"), LockMode::Shared).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Shared)
+            .unwrap();
+        lm.acquire(txn(2), ts(2), &item("x"), LockMode::Shared)
+            .unwrap();
         assert_eq!(lm.active_transactions(), 2);
         assert_eq!(lm.stats().grants(), 2);
         assert_eq!(lm.stats().waits(), 0);
@@ -668,10 +670,12 @@ mod tests {
     #[test]
     fn exclusive_conflicts_block_until_release() {
         let lm = Arc::new(manager(DeadlockPolicy::TimeoutOnly));
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive)
+            .unwrap();
 
         let lm2 = Arc::clone(&lm);
-        let waiter = thread::spawn(move || lm2.acquire(txn(2), ts(2), &item("x"), LockMode::Shared));
+        let waiter =
+            thread::spawn(move || lm2.acquire(txn(2), ts(2), &item("x"), LockMode::Shared));
         thread::sleep(Duration::from_millis(20));
         lm.release_all(txn(1));
         assert_eq!(waiter.join().unwrap(), Ok(()));
@@ -682,7 +686,8 @@ mod tests {
     #[test]
     fn conflicting_request_times_out() {
         let lm = manager(DeadlockPolicy::TimeoutOnly);
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive)
+            .unwrap();
         let start = Instant::now();
         let result = lm.acquire(txn(2), ts(2), &item("x"), LockMode::Exclusive);
         assert_eq!(result, Err(LockError::Timeout));
@@ -698,7 +703,8 @@ mod tests {
         // Re-acquiring the same or weaker lock is a no-op.
         lm.acquire(t, ts(1), &item("x"), LockMode::Shared).unwrap();
         // Upgrade succeeds because t is the sole holder.
-        lm.acquire(t, ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(t, ts(1), &item("x"), LockMode::Exclusive)
+            .unwrap();
         // Exclusive holder can "downgrade-request" shared: still granted.
         lm.acquire(t, ts(1), &item("x"), LockMode::Shared).unwrap();
         assert_eq!(lm.held_by(t), vec![item("x")]);
@@ -713,8 +719,10 @@ mod tests {
     #[test]
     fn upgrade_blocked_by_other_readers_times_out() {
         let lm = manager(DeadlockPolicy::TimeoutOnly);
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Shared).unwrap();
-        lm.acquire(txn(2), ts(2), &item("x"), LockMode::Shared).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Shared)
+            .unwrap();
+        lm.acquire(txn(2), ts(2), &item("x"), LockMode::Shared)
+            .unwrap();
         assert_eq!(
             lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive),
             Err(LockError::Timeout)
@@ -728,8 +736,10 @@ mod tests {
             Duration::from_millis(500),
         ));
         // T1 holds x, T2 holds y.
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
-        lm.acquire(txn(2), ts(2), &item("y"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(txn(2), ts(2), &item("y"), LockMode::Exclusive)
+            .unwrap();
 
         // T1 waits for y in a background thread.
         let lm1 = Arc::clone(&lm);
@@ -749,14 +759,18 @@ mod tests {
     fn wait_die_aborts_younger_requesters() {
         let lm = manager(DeadlockPolicy::WaitDie);
         // Older transaction (smaller ts) holds the lock.
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive)
+            .unwrap();
         // Younger requester dies immediately.
         let start = Instant::now();
         assert_eq!(
             lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive),
             Err(LockError::Deadlock)
         );
-        assert!(start.elapsed() < Duration::from_millis(50), "die must be immediate");
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "die must be immediate"
+        );
         assert_eq!(lm.stats().deadlock_aborts(), 1);
     }
 
@@ -764,9 +778,11 @@ mod tests {
     fn wait_die_lets_older_requesters_wait() {
         let lm = Arc::new(manager(DeadlockPolicy::WaitDie));
         // Younger transaction holds the lock.
-        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive)
+            .unwrap();
         let lm2 = Arc::clone(&lm);
-        let older = thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
+        let older =
+            thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
         thread::sleep(Duration::from_millis(20));
         lm.release_all(txn(2));
         assert_eq!(older.join().unwrap(), Ok(()));
@@ -776,10 +792,12 @@ mod tests {
     fn wound_wait_wounds_younger_holders() {
         let lm = Arc::new(manager(DeadlockPolicy::WoundWait));
         // Younger transaction holds the lock.
-        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive)
+            .unwrap();
         // Older requester wounds it and waits.
         let lm2 = Arc::clone(&lm);
-        let older = thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
+        let older =
+            thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
         thread::sleep(Duration::from_millis(20));
         assert!(lm.is_wounded(txn(2)), "younger holder must be wounded");
         assert!(lm.stats().wounds() >= 1);
@@ -793,7 +811,8 @@ mod tests {
     #[test]
     fn wound_wait_younger_requester_waits_without_wounding() {
         let lm = manager(DeadlockPolicy::WoundWait);
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive)
+            .unwrap();
         // Younger requester: no wound, just a (timed-out) wait.
         assert_eq!(
             lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive),
@@ -806,9 +825,11 @@ mod tests {
     #[test]
     fn wounded_transaction_is_rejected_on_next_acquire() {
         let lm = Arc::new(manager(DeadlockPolicy::WoundWait));
-        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(2), ts(5), &item("x"), LockMode::Exclusive)
+            .unwrap();
         let lm2 = Arc::clone(&lm);
-        let older = thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
+        let older =
+            thread::spawn(move || lm2.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive));
         thread::sleep(Duration::from_millis(20));
         // The wounded transaction tries to lock something else: rejected.
         assert_eq!(
@@ -822,8 +843,10 @@ mod tests {
     #[test]
     fn release_all_clears_bookkeeping() {
         let lm = manager(DeadlockPolicy::WaitForGraph);
-        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive).unwrap();
-        lm.acquire(txn(1), ts(1), &item("y"), LockMode::Shared).unwrap();
+        lm.acquire(txn(1), ts(1), &item("x"), LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(txn(1), ts(1), &item("y"), LockMode::Shared)
+            .unwrap();
         assert_eq!(lm.held_by(txn(1)).len(), 2);
         lm.release_all(txn(1));
         assert!(lm.held_by(txn(1)).is_empty());
@@ -838,9 +861,12 @@ mod tests {
             DeadlockPolicy::WaitForGraph,
             Duration::from_millis(800),
         ));
-        lm.acquire(txn(1), ts(1), &item("a"), LockMode::Exclusive).unwrap();
-        lm.acquire(txn(2), ts(2), &item("b"), LockMode::Exclusive).unwrap();
-        lm.acquire(txn(3), ts(3), &item("c"), LockMode::Exclusive).unwrap();
+        lm.acquire(txn(1), ts(1), &item("a"), LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(txn(2), ts(2), &item("b"), LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(txn(3), ts(3), &item("c"), LockMode::Exclusive)
+            .unwrap();
 
         let lm1 = Arc::clone(&lm);
         let h1 = thread::spawn(move || lm1.acquire(txn(1), ts(1), &item("b"), LockMode::Exclusive));

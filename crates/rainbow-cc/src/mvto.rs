@@ -317,7 +317,10 @@ mod tests {
         for (i, ts) in [10u64, 20, 30, 40].iter().enumerate() {
             let w = ctx(i as u64 + 1, *ts);
             assert!(cc.prewrite(&w, &item("x"), current()).is_granted());
-            cc.commit(&w, &[(item("x"), Value::Int(*ts as i64), Version(i as u64 + 1))]);
+            cc.commit(
+                &w,
+                &[(item("x"), Value::Int(*ts as i64), Version(i as u64 + 1))],
+            );
         }
         assert_eq!(cc.version_count(&item("x")), 5);
         cc.vacuum(Timestamp::new(35, 0));

@@ -89,9 +89,7 @@ impl CcProtocol for TimestampOrdering {
         // smaller-timestamped transaction has staged, is rejected.
         let own_pending = entry.pending_writes.contains_key(&txn.id);
         if txn.ts < entry.wts
-            || (!own_pending
-                && earliest_pending != Timestamp::ZERO
-                && txn.ts > earliest_pending)
+            || (!own_pending && earliest_pending != Timestamp::ZERO && txn.ts > earliest_pending)
         {
             return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
                 item: item.clone(),

@@ -33,9 +33,9 @@ impl TwoPhaseLocking {
 
     fn map_error(error: LockError, item: &ItemId) -> AbortCause {
         match error {
-            LockError::Deadlock | LockError::Wounded => AbortCause::CcpDeadlock {
-                item: item.clone(),
-            },
+            LockError::Deadlock | LockError::Wounded => {
+                AbortCause::CcpDeadlock { item: item.clone() }
+            }
             LockError::Timeout => AbortCause::CcpLockConflict {
                 item: item.clone(),
                 holder: None,

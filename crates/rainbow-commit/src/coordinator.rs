@@ -62,7 +62,11 @@ impl Coordinator {
     /// caller is expected to deliver its own vote/ack locally like any other
     /// participant (that is how Rainbow counts messages: local calls are
     /// free, remote calls go through the simulator).
-    pub fn new(txn: TxnId, protocol: AcpKind, participants: impl IntoIterator<Item = SiteId>) -> Self {
+    pub fn new(
+        txn: TxnId,
+        protocol: AcpKind,
+        participants: impl IntoIterator<Item = SiteId>,
+    ) -> Self {
         Coordinator {
             txn,
             protocol,
@@ -165,7 +169,8 @@ impl Coordinator {
         if self.acks.len() == self.participants.len() {
             self.state = CoordinatorState::Completed;
             return CoordinatorAction::Complete(
-                self.decision.expect("decision must exist in CollectingAcks"),
+                self.decision
+                    .expect("decision must exist in CollectingAcks"),
             );
         }
         CoordinatorAction::Wait
@@ -186,7 +191,8 @@ impl Coordinator {
             CoordinatorState::CollectingAcks => {
                 self.state = CoordinatorState::Completed;
                 CoordinatorAction::Complete(
-                    self.decision.expect("decision must exist in CollectingAcks"),
+                    self.decision
+                        .expect("decision must exist in CollectingAcks"),
                 )
             }
             CoordinatorState::Completed => CoordinatorAction::Wait,
@@ -283,7 +289,10 @@ mod tests {
         c.on_vote(SiteId(0), Vote::Yes);
         c.on_vote(SiteId(1), Vote::Yes);
         c.on_ack(SiteId(0));
-        assert_eq!(c.on_timeout(), CoordinatorAction::Complete(Decision::Commit));
+        assert_eq!(
+            c.on_timeout(),
+            CoordinatorAction::Complete(Decision::Commit)
+        );
         assert_eq!(c.state(), CoordinatorState::Completed);
         // Further events are ignored.
         assert_eq!(c.on_timeout(), CoordinatorAction::Wait);
@@ -307,17 +316,18 @@ mod tests {
             CoordinatorAction::SendPreCommit(sites(2))
         );
         assert_eq!(c.state(), CoordinatorState::CollectingPreCommitAcks);
-        assert_eq!(c.decision(), None, "3PC must not decide before pre-commit acks");
+        assert_eq!(
+            c.decision(),
+            None,
+            "3PC must not decide before pre-commit acks"
+        );
 
         assert_eq!(c.on_precommit_ack(SiteId(0)), CoordinatorAction::Wait);
         assert_eq!(
             c.on_precommit_ack(SiteId(1)),
             CoordinatorAction::SendDecision(Decision::Commit, sites(2))
         );
-        assert_eq!(
-            c.on_ack(SiteId(0)),
-            CoordinatorAction::Wait
-        );
+        assert_eq!(c.on_ack(SiteId(0)), CoordinatorAction::Wait);
         assert_eq!(
             c.on_ack(SiteId(1)),
             CoordinatorAction::Complete(Decision::Commit)

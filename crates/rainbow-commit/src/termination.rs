@@ -21,8 +21,7 @@ use crate::types::Decision;
 /// participant remains blocked.
 pub fn resolve_by_peers(peer_states: &[ParticipantState]) -> Option<Decision> {
     // Rule 1: somebody already knows the decision.
-    if peer_states.contains(&ParticipantState::Committed)
-    {
+    if peer_states.contains(&ParticipantState::Committed) {
         return Some(Decision::Commit);
     }
     if peer_states.contains(&ParticipantState::Aborted) {

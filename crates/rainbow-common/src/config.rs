@@ -109,11 +109,7 @@ impl ItemPlacement {
     }
 
     /// Weighted placement with explicit thresholds.
-    pub fn weighted(
-        copies: BTreeMap<SiteId, u32>,
-        read_quorum: u32,
-        write_quorum: u32,
-    ) -> Self {
+    pub fn weighted(copies: BTreeMap<SiteId, u32>, read_quorum: u32, write_quorum: u32) -> Self {
         ItemPlacement {
             copies,
             read_quorum,
@@ -278,11 +274,7 @@ impl DatabaseSchema {
         let mut schema = DatabaseSchema::new();
         for i in 0..n_items {
             let holders: Vec<SiteId> = (0..degree).map(|k| sites[(i + k) % sites.len()]).collect();
-            schema.declare(
-                format!("x{i}"),
-                initial,
-                ItemPlacement::majority(holders),
-            );
+            schema.declare(format!("x{i}"), initial, ItemPlacement::majority(holders));
         }
         Ok(schema)
     }
@@ -449,18 +441,10 @@ mod tests {
     fn invalid_quorums_are_rejected() {
         let item = ItemId::new("x");
         // Non-intersecting read/write quorums.
-        let p = ItemPlacement::weighted(
-            sites(4).into_iter().map(|s| (s, 1)).collect(),
-            1,
-            3,
-        );
+        let p = ItemPlacement::weighted(sites(4).into_iter().map(|s| (s, 1)).collect(), 1, 3);
         assert!(p.validate(&item).is_err());
         // Write quorum not intersecting itself.
-        let p = ItemPlacement::weighted(
-            sites(4).into_iter().map(|s| (s, 1)).collect(),
-            3,
-            2,
-        );
+        let p = ItemPlacement::weighted(sites(4).into_iter().map(|s| (s, 1)).collect(), 3, 2);
         assert!(p.validate(&item).is_err());
         // Zero votes.
         let mut copies: BTreeMap<SiteId, u32> = sites(2).into_iter().map(|s| (s, 1)).collect();
@@ -471,25 +455,18 @@ mod tests {
         let p = ItemPlacement::weighted(BTreeMap::new(), 1, 1);
         assert!(p.validate(&item).is_err());
         // Threshold above total.
-        let p = ItemPlacement::weighted(
-            sites(2).into_iter().map(|s| (s, 1)).collect(),
-            3,
-            2,
-        );
+        let p = ItemPlacement::weighted(sites(2).into_iter().map(|s| (s, 1)).collect(), 3, 2);
         assert!(p.validate(&item).is_err());
         // Zero threshold.
-        let p = ItemPlacement::weighted(
-            sites(2).into_iter().map(|s| (s, 1)).collect(),
-            0,
-            2,
-        );
+        let p = ItemPlacement::weighted(sites(2).into_iter().map(|s| (s, 1)).collect(), 0, 2);
         assert!(p.validate(&item).is_err());
     }
 
     #[test]
     fn weighted_votes_count_toward_totals() {
-        let copies: BTreeMap<SiteId, u32> =
-            vec![(SiteId(0), 3), (SiteId(1), 1), (SiteId(2), 1)].into_iter().collect();
+        let copies: BTreeMap<SiteId, u32> = vec![(SiteId(0), 3), (SiteId(1), 1), (SiteId(2), 1)]
+            .into_iter()
+            .collect();
         let p = ItemPlacement::weighted(copies, 3, 3);
         assert_eq!(p.total_votes(), 5);
         assert_eq!(p.replication_degree(), 3);
@@ -534,7 +511,11 @@ mod tests {
         let schema = DatabaseSchema::uniform(4, 0, &sites(2), 10).unwrap();
         for spec in &schema.items {
             assert_eq!(
-                schema.replication.placement(&spec.id).unwrap().replication_degree(),
+                schema
+                    .replication
+                    .placement(&spec.id)
+                    .unwrap()
+                    .replication_degree(),
                 2
             );
         }

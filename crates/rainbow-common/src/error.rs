@@ -103,7 +103,9 @@ mod tests {
         assert!(RainbowError::Timeout("t".into()).is_retryable());
         assert!(RainbowError::SiteUnavailable(SiteId(0)).is_retryable());
         assert!(!RainbowError::InvalidConfig("x".into()).is_retryable());
-        assert!(RainbowError::InvalidConfig("x".into()).abort_cause().is_none());
+        assert!(RainbowError::InvalidConfig("x".into())
+            .abort_cause()
+            .is_none());
     }
 
     #[test]

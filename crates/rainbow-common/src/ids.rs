@@ -166,7 +166,9 @@ impl ItemId {
         let name = name.as_ref();
         let hash = fnv1a(name.as_bytes());
         let shard = &intern_pool()[(hash as usize) % INTERN_SHARDS];
-        let mut pool = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut pool = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(entry) = pool.get(name) {
             return ItemId(Arc::clone(&entry.0));
         }
@@ -273,7 +275,10 @@ impl TxnId {
 
 impl Timestamp {
     /// The zero timestamp, smaller than every timestamp a site can issue.
-    pub const ZERO: Timestamp = Timestamp { counter: 0, site: 0 };
+    pub const ZERO: Timestamp = Timestamp {
+        counter: 0,
+        site: 0,
+    };
 
     /// Creates a timestamp.
     pub fn new(counter: u64, site: u32) -> Self {
@@ -428,9 +433,11 @@ mod tests {
 
     #[test]
     fn item_id_ordering_is_lexicographic_on_names() {
-        let mut ids = [ItemId::new("zeta"),
+        let mut ids = [
+            ItemId::new("zeta"),
             ItemId::new("alpha"),
-            ItemId::new("mid")];
+            ItemId::new("mid"),
+        ];
         ids.sort();
         let names: Vec<&str> = ids.iter().map(ItemId::name).collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);

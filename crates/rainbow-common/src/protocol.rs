@@ -11,13 +11,14 @@
 //! 3. the atomic commit protocol (ACP): Two-Phase Commit (we also provide
 //!    Three-Phase Commit, another suggested extension).
 
+use crate::error::RainbowError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::str::FromStr;
 use std::time::Duration;
 
 /// Replication control protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum RcpKind {
     /// Read-One-Write-All: reads touch any single copy, writes touch every
     /// copy. Cheap reads, but a single unavailable copy blocks writes.
@@ -26,21 +27,106 @@ pub enum RcpKind {
     /// a version number; reads and writes assemble intersecting quorums.
     #[default]
     QuorumConsensus,
+    /// Available Copies: reads touch any single copy, writes touch every
+    /// copy the fault controller believes is up. Keeps both reads and
+    /// writes available under site crashes, at the price of needing a
+    /// copier/catch-up protocol when a crashed holder recovers.
+    AvailableCopies,
+    /// Tree Quorum: the copy sites form a logical tree; reads take the root
+    /// (degrading to a majority of children, recursively, when the root is
+    /// down) and writes take the root plus a majority of children at every
+    /// selected level. Reads stay one-copy cheap while write quorums shrink
+    /// below write-all.
+    TreeQuorum,
+    /// Primary Copy: all reads and writes are routed through a per-item
+    /// primary site, with lease-based failover to the next live copy holder
+    /// when the primary crashes; writes are propagated synchronously to
+    /// every available backup.
+    PrimaryCopy,
 }
 
+impl RcpKind {
+    /// Every replication protocol, in presentation order — used by sweeps,
+    /// tests and the CLI-style config parser.
+    pub const ALL: [RcpKind; 5] = [
+        RcpKind::Rowa,
+        RcpKind::QuorumConsensus,
+        RcpKind::AvailableCopies,
+        RcpKind::TreeQuorum,
+        RcpKind::PrimaryCopy,
+    ];
+
+    /// The long configuration name (`Display` prints the short one).
+    pub fn config_name(&self) -> &'static str {
+        match self {
+            RcpKind::Rowa => "read-one-write-all",
+            RcpKind::QuorumConsensus => "quorum-consensus",
+            RcpKind::AvailableCopies => "available-copies",
+            RcpKind::TreeQuorum => "tree-quorum",
+            RcpKind::PrimaryCopy => "primary-copy",
+        }
+    }
+}
+
+// Adding an `RcpKind` variant must extend `ALL` (and with it `FromStr`,
+// which parses by iterating `ALL`): this exhaustive match (deliberately no
+// wildcard arm) breaks the build until the new variant is indexed, and the
+// length assertion breaks it until `ALL` actually lists it.
+const _: () = {
+    const fn ordinal(kind: RcpKind) -> usize {
+        match kind {
+            RcpKind::Rowa => 0,
+            RcpKind::QuorumConsensus => 1,
+            RcpKind::AvailableCopies => 2,
+            RcpKind::TreeQuorum => 3,
+            RcpKind::PrimaryCopy => 4,
+        }
+    }
+    assert!(RcpKind::ALL.len() == ordinal(RcpKind::PrimaryCopy) + 1);
+};
 
 impl fmt::Display for RcpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RcpKind::Rowa => write!(f, "ROWA"),
             RcpKind::QuorumConsensus => write!(f, "QC"),
+            RcpKind::AvailableCopies => write!(f, "AC"),
+            RcpKind::TreeQuorum => write!(f, "TQ"),
+            RcpKind::PrimaryCopy => write!(f, "PC"),
         }
     }
 }
 
+impl FromStr for RcpKind {
+    type Err = RainbowError;
+
+    /// Parses either the short display name (`QC`) or the long config name
+    /// (`quorum-consensus`), case-insensitively. Parsing is driven off
+    /// [`RcpKind::ALL`] + [`fmt::Display`], so the round-trip
+    /// `kind.to_string().parse()` holds for every variant by construction.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let wanted = s.trim();
+        RcpKind::ALL
+            .into_iter()
+            .find(|kind| {
+                wanted.eq_ignore_ascii_case(&kind.to_string())
+                    || wanted.eq_ignore_ascii_case(kind.config_name())
+            })
+            .ok_or_else(|| {
+                RainbowError::InvalidConfig(format!(
+                    "unknown replication protocol {wanted:?} (expected one of {})",
+                    RcpKind::ALL
+                        .iter()
+                        .map(|k| k.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+}
+
 /// Concurrency control protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum CcpKind {
     /// Strict two-phase locking with deadlock handling.
     #[default]
@@ -51,7 +137,6 @@ pub enum CcpKind {
     /// Section 5 of the paper).
     MultiversionTimestampOrdering,
 }
-
 
 impl fmt::Display for CcpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -64,8 +149,7 @@ impl fmt::Display for CcpKind {
 }
 
 /// Atomic commitment protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum AcpKind {
     /// Two-phase commit (the Rainbow default).
     #[default]
@@ -73,7 +157,6 @@ pub enum AcpKind {
     /// Three-phase commit (non-blocking extension, Section 5).
     ThreePhaseCommit,
 }
-
 
 impl fmt::Display for AcpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -85,8 +168,7 @@ impl fmt::Display for AcpKind {
 }
 
 /// Deadlock handling policy for the two-phase-locking CCP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum DeadlockPolicy {
     /// Maintain a wait-for graph and abort a victim when a cycle appears.
     #[default]
@@ -100,7 +182,6 @@ pub enum DeadlockPolicy {
     /// No detection — rely purely on lock-wait timeouts.
     TimeoutOnly,
 }
-
 
 impl fmt::Display for DeadlockPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -211,6 +292,24 @@ impl ProtocolStack {
         self
     }
 
+    /// Applies the `RAINBOW_PARALLEL_QUORUMS` environment variable, when
+    /// set, to the quorum fan-out knob: `0`, `false`, `off`, `no`,
+    /// `sequential` or `seq` select the sequential path, anything else the
+    /// parallel one. An unset variable leaves the stack unchanged.
+    ///
+    /// The integration tests build their stacks through this helper so CI
+    /// can run the whole suite under both fan-out paths as matrix legs.
+    pub fn with_parallel_quorums_from_env(mut self) -> Self {
+        if let Ok(raw) = std::env::var("RAINBOW_PARALLEL_QUORUMS") {
+            let value = raw.trim().to_ascii_lowercase();
+            self.parallel_quorums = !matches!(
+                value.as_str(),
+                "0" | "false" | "off" | "no" | "sequential" | "seq"
+            );
+        }
+        self
+    }
+
     /// A compact label such as `QC+2PL+2PC`, used in reports and bench
     /// output so series are easy to identify.
     pub fn label(&self) -> String {
@@ -263,9 +362,51 @@ mod tests {
     }
 
     #[test]
+    fn rcp_kind_round_trips_through_from_str() {
+        for kind in RcpKind::ALL {
+            // Short display name.
+            assert_eq!(kind.to_string().parse::<RcpKind>().unwrap(), kind);
+            // Long config name, case-insensitively and with padding.
+            let sloppy = format!("  {}  ", kind.config_name().to_ascii_uppercase());
+            assert_eq!(sloppy.parse::<RcpKind>().unwrap(), kind);
+        }
+        assert!("paxos".parse::<RcpKind>().is_err());
+        assert!("".parse::<RcpKind>().is_err());
+    }
+
+    #[test]
+    fn rcp_kind_all_has_no_duplicates() {
+        for (i, a) in RcpKind::ALL.iter().enumerate() {
+            for b in RcpKind::ALL.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_quorums_env_knob_overrides_the_default() {
+        // No other test in this binary reads this variable, so mutating the
+        // process environment here cannot race with parallel test threads.
+        std::env::set_var("RAINBOW_PARALLEL_QUORUMS", "sequential");
+        let stack = ProtocolStack::default().with_parallel_quorums_from_env();
+        assert!(!stack.parallel_quorums);
+        std::env::set_var("RAINBOW_PARALLEL_QUORUMS", "1");
+        let stack = ProtocolStack::default().with_parallel_quorums_from_env();
+        assert!(stack.parallel_quorums);
+        std::env::remove_var("RAINBOW_PARALLEL_QUORUMS");
+        let stack = ProtocolStack::default()
+            .with_parallel_quorums(false)
+            .with_parallel_quorums_from_env();
+        assert!(!stack.parallel_quorums, "unset env leaves the knob alone");
+    }
+
+    #[test]
     fn display_names_match_the_literature() {
         assert_eq!(RcpKind::Rowa.to_string(), "ROWA");
         assert_eq!(RcpKind::QuorumConsensus.to_string(), "QC");
+        assert_eq!(RcpKind::AvailableCopies.to_string(), "AC");
+        assert_eq!(RcpKind::TreeQuorum.to_string(), "TQ");
+        assert_eq!(RcpKind::PrimaryCopy.to_string(), "PC");
         assert_eq!(CcpKind::TwoPhaseLocking.to_string(), "2PL");
         assert_eq!(CcpKind::TimestampOrdering.to_string(), "TSO");
         assert_eq!(CcpKind::MultiversionTimestampOrdering.to_string(), "MVTO");

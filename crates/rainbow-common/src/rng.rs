@@ -32,8 +32,7 @@ pub fn derive_seed(master: u64, component: &str) -> u64 {
 }
 
 /// How the workload generator picks the items a transaction accesses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum AccessDistribution {
     /// Every item equally likely.
     #[default]
@@ -53,7 +52,6 @@ pub enum AccessDistribution {
         item_fraction: f64,
     },
 }
-
 
 /// A sampler over `0..n` item indices following an [`AccessDistribution`].
 #[derive(Debug, Clone)]
@@ -230,10 +228,13 @@ mod tests {
 
     #[test]
     fn hotspot_sampler_concentrates_accesses() {
-        let sampler = ItemSampler::new(100, AccessDistribution::HotSpot {
-            access_fraction: 0.8,
-            item_fraction: 0.2,
-        });
+        let sampler = ItemSampler::new(
+            100,
+            AccessDistribution::HotSpot {
+                access_fraction: 0.8,
+                item_fraction: 0.2,
+            },
+        );
         let mut rng = seeded_rng(5);
         let mut hot = 0u32;
         let trials = 10_000;
@@ -248,10 +249,13 @@ mod tests {
 
     #[test]
     fn hotspot_with_full_item_fraction_is_uniform_over_all() {
-        let sampler = ItemSampler::new(10, AccessDistribution::HotSpot {
-            access_fraction: 0.5,
-            item_fraction: 1.0,
-        });
+        let sampler = ItemSampler::new(
+            10,
+            AccessDistribution::HotSpot {
+                access_fraction: 0.5,
+                item_fraction: 1.0,
+            },
+        );
         let mut rng = seeded_rng(9);
         for _ in 0..100 {
             assert!(sampler.sample(&mut rng) < 10);

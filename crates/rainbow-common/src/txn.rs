@@ -177,12 +177,16 @@ impl fmt::Display for AbortCause {
                 f,
                 "RCP: quorum unavailable for {item} ({collected}/{required} votes)"
             ),
-            AbortCause::RcpTimeout { item } => write!(f, "RCP: timeout collecting copies of {item}"),
+            AbortCause::RcpTimeout { item } => {
+                write!(f, "RCP: timeout collecting copies of {item}")
+            }
             AbortCause::CcpLockConflict { item, holder } => match holder {
                 Some(h) => write!(f, "CCP: lock conflict on {item} held by {h}"),
                 None => write!(f, "CCP: lock conflict on {item}"),
             },
-            AbortCause::CcpDeadlock { item } => write!(f, "CCP: deadlock victim waiting for {item}"),
+            AbortCause::CcpDeadlock { item } => {
+                write!(f, "CCP: deadlock victim waiting for {item}")
+            }
             AbortCause::CcpTimestampViolation { item, rejected } => {
                 write!(f, "CCP: timestamp violation on {item} (ts {rejected})")
             }
@@ -353,12 +357,16 @@ mod tests {
             collected: 1,
             required: 2,
         };
-        let rcp2 = AbortCause::RcpTimeout { item: ItemId::new("x") };
+        let rcp2 = AbortCause::RcpTimeout {
+            item: ItemId::new("x"),
+        };
         let ccp = AbortCause::CcpLockConflict {
             item: ItemId::new("x"),
             holder: None,
         };
-        let ccp2 = AbortCause::CcpDeadlock { item: ItemId::new("x") };
+        let ccp2 = AbortCause::CcpDeadlock {
+            item: ItemId::new("x"),
+        };
         let ccp3 = AbortCause::CcpTimestampViolation {
             item: ItemId::new("x"),
             rejected: Timestamp::new(1, 1),
@@ -394,11 +402,17 @@ mod tests {
 
     #[test]
     fn abort_cause_display_mentions_layer() {
-        let c = AbortCause::CcpDeadlock { item: ItemId::new("x") };
+        let c = AbortCause::CcpDeadlock {
+            item: ItemId::new("x"),
+        };
         assert!(c.to_string().contains("CCP"));
-        let c = AbortCause::AcpTimeout { phase: "prepare".into() };
+        let c = AbortCause::AcpTimeout {
+            phase: "prepare".into(),
+        };
         assert!(c.to_string().contains("ACP"));
-        let c = AbortCause::RcpTimeout { item: ItemId::new("x") };
+        let c = AbortCause::RcpTimeout {
+            item: ItemId::new("x"),
+        };
         assert!(c.to_string().contains("RCP"));
         assert_eq!(AbortLayer::Rcp.to_string(), "RCP");
         assert_eq!(AbortLayer::Other.to_string(), "other");

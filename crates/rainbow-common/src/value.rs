@@ -9,8 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A value stored in (one copy of) a database item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Value {
     /// Absence of a value; the state of an item that was declared but never
     /// written.
@@ -84,7 +83,6 @@ impl Value {
     }
 }
 
-
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -151,10 +149,7 @@ mod tests {
 
     #[test]
     fn add_int_wraps_rather_than_panicking() {
-        assert_eq!(
-            Value::Int(i64::MAX).add_int(1),
-            Some(Value::Int(i64::MIN))
-        );
+        assert_eq!(Value::Int(i64::MAX).add_int(1), Some(Value::Int(i64::MIN)));
     }
 
     #[test]

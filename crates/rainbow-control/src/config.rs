@@ -59,8 +59,7 @@ impl SessionConfig {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> RainbowResult<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| RainbowError::Serialization(e.to_string()))
+        serde_json::to_string_pretty(self).map_err(|e| RainbowError::Serialization(e.to_string()))
     }
 
     /// Parses from JSON.

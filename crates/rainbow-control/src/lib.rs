@@ -49,6 +49,9 @@ pub mod runners;
 pub mod session;
 
 pub use config::SessionConfig;
-pub use report::{render_stats_panel, ExperimentTable};
-pub use runners::{ProgressRunner, WorkloadRunner};
+pub use report::{render_stats_panel, sweep_table, sweep_to_json, ExperimentTable};
+pub use runners::{
+    run_protocol_sweep, FaultScenario, LatencySummary, ProgressRunner, SweepCell, SweepConfig,
+    SweepReport, WorkloadRunner,
+};
 pub use session::{Session, WorkloadReport};

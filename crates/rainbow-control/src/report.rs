@@ -7,8 +7,10 @@
 //! every experiment binary so their output is uniform and easy to diff
 //! against EXPERIMENTS.md.
 
+use crate::runners::SweepReport;
 use rainbow_common::stats::StatsSnapshot;
 use rainbow_common::txn::AbortLayer;
+use rainbow_common::{RainbowError, RainbowResult};
 use std::fmt::Write as _;
 
 /// Renders the Figure-5-style transaction processing output panel.
@@ -20,9 +22,22 @@ pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
     let _ = writeln!(out, "aborted transactions        : {}", stats.aborted);
     let _ = writeln!(out, "orphan transactions         : {}", stats.orphans);
     let _ = writeln!(out, "restarted transactions      : {}", stats.restarted);
-    let _ = writeln!(out, "commit rate                 : {:.3}", stats.commit_rate());
-    let _ = writeln!(out, "abort rate                  : {:.3}", stats.abort_rate());
-    for layer in [AbortLayer::Rcp, AbortLayer::Ccp, AbortLayer::Acp, AbortLayer::Other] {
+    let _ = writeln!(
+        out,
+        "commit rate                 : {:.3}",
+        stats.commit_rate()
+    );
+    let _ = writeln!(
+        out,
+        "abort rate                  : {:.3}",
+        stats.abort_rate()
+    );
+    for layer in [
+        AbortLayer::Rcp,
+        AbortLayer::Ccp,
+        AbortLayer::Acp,
+        AbortLayer::Other,
+    ] {
         let _ = writeln!(
             out,
             "  abort rate due to {:<9}: {:.3} ({} aborts)",
@@ -31,7 +46,11 @@ pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
             stats.aborts.layer(layer)
         );
     }
-    let _ = writeln!(out, "throughput (commit/s)       : {:.1}", stats.throughput());
+    let _ = writeln!(
+        out,
+        "throughput (commit/s)       : {:.1}",
+        stats.throughput()
+    );
     let _ = writeln!(
         out,
         "response time mean/p95/p99  : {:.2} / {:.2} / {:.2} ms",
@@ -50,7 +69,11 @@ pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
         "messages per transaction    : {:.2}",
         stats.messages_per_txn()
     );
-    let _ = writeln!(out, "round-trip messages         : {}", stats.messages.round_trips);
+    let _ = writeln!(
+        out,
+        "round-trip messages         : {}",
+        stats.messages.round_trips
+    );
     let _ = writeln!(
         out,
         "load imbalance (cv)         : {:.3}",
@@ -63,6 +86,56 @@ pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
         }
     }
     out
+}
+
+/// Renders a protocol sweep as the standard fixed-width table: one row per
+/// (protocol, workload, fault) cell with the availability and latency
+/// columns the replication experiments compare.
+pub fn sweep_table(title: &str, report: &SweepReport) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        title,
+        &[
+            "RCP",
+            "workload",
+            "fault",
+            "commit%",
+            "committed",
+            "aborted",
+            "orphans",
+            "rt-p50 ms",
+            "rt-p95 ms",
+            "msgs/txn",
+            "top abort cause",
+        ],
+    );
+    for cell in &report.cells {
+        let top_cause = cell
+            .abort_causes
+            .iter()
+            .max_by_key(|(_, count)| **count)
+            .map(|(cause, count)| format!("{cause} ({count})"))
+            .unwrap_or_else(|| "-".into());
+        table.row(&[
+            cell.protocol.clone(),
+            cell.profile.clone(),
+            cell.fault.clone(),
+            format!("{:.1}", cell.commit_rate * 100.0),
+            cell.committed.to_string(),
+            cell.aborted.to_string(),
+            cell.orphans.to_string(),
+            format!("{:.2}", cell.latency.p50_ms),
+            format!("{:.2}", cell.latency.p95_ms),
+            format!("{:.1}", cell.messages_per_txn),
+            top_cause,
+        ]);
+    }
+    table
+}
+
+/// Serializes a protocol sweep to the pretty JSON written to
+/// `BENCH_protocols.json`.
+pub fn sweep_to_json(report: &SweepReport) -> RainbowResult<String> {
+    serde_json::to_string_pretty(report).map_err(|e| RainbowError::Serialization(e.to_string()))
 }
 
 /// A fixed-width table used by the experiment binaries to print the series
@@ -165,10 +238,7 @@ mod tests {
             ..Default::default()
         };
         snapshot.messages.sent = 120;
-        snapshot
-            .messages
-            .by_kind
-            .insert("ACP_PREPARE".into(), 24);
+        snapshot.messages.by_kind.insert("ACP_PREPARE".into(), 24);
         snapshot.load.served_requests.insert(0, 60);
         snapshot.load.served_requests.insert(1, 60);
         snapshot
@@ -201,6 +271,57 @@ mod tests {
         assert!(rendered.contains("17.5"));
         // Header separator present.
         assert!(rendered.contains("------"));
+    }
+
+    #[test]
+    fn sweep_table_and_json_expose_every_cell() {
+        use crate::runners::{LatencySummary, SweepCell, SweepReport};
+        let cell = SweepCell {
+            protocol: "QC".into(),
+            profile: "write-heavy".into(),
+            fault: "1-site-down".into(),
+            affected_sites: vec![4],
+            transactions: 40,
+            committed: 36,
+            aborted: 4,
+            orphans: 0,
+            commit_rate: 0.9,
+            throughput: 55.0,
+            abort_causes: [("rcp-quorum-unavailable".to_string(), 4u64)]
+                .into_iter()
+                .collect(),
+            latency: LatencySummary {
+                mean_ms: 4.0,
+                p50_ms: 3.5,
+                p95_ms: 9.0,
+                p99_ms: 12.0,
+            },
+            messages_per_txn: 17.5,
+        };
+        let report = SweepReport {
+            sites: 5,
+            items: 10,
+            replication_degree: 5,
+            transactions_per_cell: 40,
+            mpl: 6,
+            seed: 42,
+            cells: vec![cell],
+        };
+        let rendered = sweep_table("sweep", &report).render();
+        assert!(rendered.contains("QC"));
+        assert!(rendered.contains("1-site-down"));
+        assert!(rendered.contains("90.0"));
+        assert!(rendered.contains("rcp-quorum-unavailable (4)"));
+
+        let json = sweep_to_json(&report).unwrap();
+        assert!(json.contains("\"commit_rate\""));
+        assert!(json.contains("\"p95_ms\""));
+        assert!(json.contains("\"protocol\""));
+        // The JSON round-trips through the sweep types.
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].protocol, "QC");
+        assert_eq!(back.cells[0].latency.p95_ms, 9.0);
     }
 
     #[test]

@@ -421,7 +421,9 @@ mod tests {
                     .with_commit_timeout(Duration::from_millis(500)),
             )
             .unwrap();
-        session.configure_uniform_database(items, 100, sites.min(3)).unwrap();
+        session
+            .configure_uniform_database(items, 100, sites.min(3))
+            .unwrap();
         session.start().unwrap();
         session
     }
@@ -482,11 +484,7 @@ mod tests {
         assert!(results.iter().all(|r| r.committed()));
         // Money is conserved.
         let audit = &results[1];
-        let sum: i64 = audit
-            .reads
-            .values()
-            .map(|v| v.as_int().unwrap_or(0))
-            .sum();
+        let sum: i64 = audit.reads.values().map(|v| v.as_int().unwrap_or(0)).sum();
         assert_eq!(sum, 200);
     }
 
@@ -531,7 +529,9 @@ mod tests {
         // A single crashed site must not block quorum reads.
         assert!(result.committed(), "outcome: {:?}", result.outcome);
         session.recover_site(SiteId(2)).unwrap();
-        session.partition(&[vec![SiteId(0)], vec![SiteId(1), SiteId(2)]]).unwrap();
+        session
+            .partition(&[vec![SiteId(0)], vec![SiteId(1), SiteId(2)]])
+            .unwrap();
         session.heal_partition().unwrap();
     }
 
@@ -540,7 +540,9 @@ mod tests {
         let mut session = Session::new();
         session.configure_sites(2).unwrap();
         session.configure_uniform_database(4, 7, 2).unwrap();
-        session.set_seed(9).set_client_timeout(Duration::from_secs(5));
+        session
+            .set_seed(9)
+            .set_client_timeout(Duration::from_secs(5));
         let dir = std::env::temp_dir().join("rainbow-session-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("saved.json");

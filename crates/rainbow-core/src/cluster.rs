@@ -446,10 +446,7 @@ mod tests {
     #[test]
     fn update_transaction_is_visible_to_later_readers() {
         let cluster = quick_cluster(3);
-        let write = cluster.submit(TxnSpec::new(
-            "writer",
-            vec![Operation::write("x0", 555i64)],
-        ));
+        let write = cluster.submit(TxnSpec::new("writer", vec![Operation::write("x0", 555i64)]));
         assert!(write.committed(), "outcome was {:?}", write.outcome);
         let read = cluster.submit(TxnSpec::new("reader", vec![Operation::read("x0")]));
         assert!(read.committed());
@@ -460,10 +457,7 @@ mod tests {
     fn increments_accumulate_across_transactions() {
         let cluster = quick_cluster(2);
         for _ in 0..5 {
-            let result = cluster.submit(TxnSpec::new(
-                "inc",
-                vec![Operation::increment("x2", 10)],
-            ));
+            let result = cluster.submit(TxnSpec::new("inc", vec![Operation::increment("x2", 10)]));
             assert!(result.committed(), "outcome was {:?}", result.outcome);
         }
         let read = cluster.submit(TxnSpec::new("check", vec![Operation::read("x2")]));
@@ -473,10 +467,7 @@ mod tests {
     #[test]
     fn unknown_item_aborts_with_rcp_cause() {
         let cluster = quick_cluster(2);
-        let result = cluster.submit(TxnSpec::new(
-            "bad",
-            vec![Operation::read("does-not-exist")],
-        ));
+        let result = cluster.submit(TxnSpec::new("bad", vec![Operation::read("does-not-exist")]));
         assert!(result.outcome.is_aborted());
         let stats = cluster.stats();
         assert_eq!(stats.aborted, 1);
@@ -485,9 +476,8 @@ mod tests {
     #[test]
     fn pinned_home_site_is_respected() {
         let cluster = quick_cluster(3);
-        let result = cluster.submit(
-            TxnSpec::new("pinned", vec![Operation::read("x0")]).at_site(SiteId(2)),
-        );
+        let result =
+            cluster.submit(TxnSpec::new("pinned", vec![Operation::read("x0")]).at_site(SiteId(2)));
         assert!(result.committed());
         assert_eq!(result.id.home, SiteId(2));
     }
@@ -518,8 +508,16 @@ mod tests {
     #[test]
     fn rowa_and_alternative_ccp_stacks_work_end_to_end() {
         for (rcp, ccp, acp) in [
-            (RcpKind::Rowa, CcpKind::TwoPhaseLocking, AcpKind::TwoPhaseCommit),
-            (RcpKind::QuorumConsensus, CcpKind::TimestampOrdering, AcpKind::TwoPhaseCommit),
+            (
+                RcpKind::Rowa,
+                CcpKind::TwoPhaseLocking,
+                AcpKind::TwoPhaseCommit,
+            ),
+            (
+                RcpKind::QuorumConsensus,
+                CcpKind::TimestampOrdering,
+                AcpKind::TwoPhaseCommit,
+            ),
             (
                 RcpKind::QuorumConsensus,
                 CcpKind::MultiversionTimestampOrdering,
@@ -556,10 +554,7 @@ mod tests {
         let cluster = quick_cluster(3);
         cluster.crash_site(SiteId(1)).unwrap();
         cluster.crash_site(SiteId(2)).unwrap();
-        let result = cluster.submit(TxnSpec::new(
-            "blocked",
-            vec![Operation::write("x0", 1i64)],
-        ));
+        let result = cluster.submit(TxnSpec::new("blocked", vec![Operation::write("x0", 1i64)]));
         assert!(
             !result.committed(),
             "write must not commit without a quorum: {:?}",
@@ -575,10 +570,10 @@ mod tests {
     #[test]
     fn invalid_configurations_are_rejected() {
         let mut config = ClusterConfig::quick(2, 2, 2).unwrap();
-        config
-            .database
-            .replication
-            .place("x0", rainbow_common::config::ItemPlacement::majority(vec![SiteId(9)]));
+        config.database.replication.place(
+            "x0",
+            rainbow_common::config::ItemPlacement::majority(vec![SiteId(9)]),
+        );
         assert!(Cluster::start(config).is_err());
     }
 
@@ -586,10 +581,7 @@ mod tests {
     fn stats_snapshot_exposes_load_balance_per_site() {
         let cluster = quick_cluster(2);
         for i in 0..6 {
-            cluster.submit(TxnSpec::new(
-                format!("t{i}"),
-                vec![Operation::read("x0")],
-            ));
+            cluster.submit(TxnSpec::new(format!("t{i}"), vec![Operation::read("x0")]));
         }
         let stats = cluster.stats();
         let total_home: u64 = stats.load.home_transactions.values().sum();

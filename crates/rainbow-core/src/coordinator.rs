@@ -68,7 +68,12 @@ pub(crate) fn run_transaction(
     client: NodeId,
     request: u64,
 ) {
-    let txn = TxnId::new(shared.id, shared.txn_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+    let txn = TxnId::new(
+        shared.id,
+        shared
+            .txn_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    );
     let ts = shared.clock.next();
     let started = Instant::now();
 
@@ -211,6 +216,12 @@ fn execute_operations_parallel(
             Operation::Increment { item, .. } => (item, QuorumAccess::ReadForUpdate),
         };
         let collector = start_quorum(shared, exec, item, access)?;
+        // A plan that is unsatisfiable from the start (e.g. a tree-quorum
+        // write while the tree root is down plans zero targets) must abort
+        // now, not after the fan-out deadline expires.
+        if collector.outcome() == QuorumOutcome::Impossible {
+            return Err(collector.abort_cause());
+        }
         let assembled = collector.is_assembled();
         rounds.push(QuorumRound {
             item: item.clone(),
@@ -322,10 +333,11 @@ fn execute_operations_parallel(
             Operation::Write { item, value } => {
                 let new_version = new_write_version(shared, exec, &round.collector);
                 for site in round.collector.responders() {
-                    exec.writes_per_site
-                        .entry(site)
-                        .or_default()
-                        .push((item.clone(), value.clone(), new_version));
+                    exec.writes_per_site.entry(site).or_default().push((
+                        item.clone(),
+                        value.clone(),
+                        new_version,
+                    ));
                 }
             }
             Operation::Increment { item, delta } => {
@@ -352,10 +364,11 @@ fn apply_increment(
     exec.reads.insert(item.clone(), current);
     let new_version = new_write_version(shared, exec, collector);
     for site in collector.responders() {
-        exec.writes_per_site
-            .entry(site)
-            .or_default()
-            .push((item.clone(), new_value.clone(), new_version));
+        exec.writes_per_site.entry(site).or_default().push((
+            item.clone(),
+            new_value.clone(),
+            new_version,
+        ));
     }
     Ok(())
 }
@@ -405,9 +418,9 @@ fn read_quorum(
     item: &ItemId,
 ) -> Result<(Value, Version), AbortCause> {
     let collector = run_quorum(shared, exec, replies, item, QuorumAccess::Read)?;
-    collector.latest_value().ok_or_else(|| AbortCause::RcpTimeout {
-        item: item.clone(),
-    })
+    collector
+        .latest_value()
+        .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })
 }
 
 /// Builds a write quorum for `item` and records the write for every site in
@@ -422,10 +435,11 @@ fn write_quorum(
     let collector = run_quorum(shared, exec, replies, item, QuorumAccess::Write)?;
     let new_version = new_write_version(shared, exec, &collector);
     for site in collector.responders() {
-        exec.writes_per_site
-            .entry(site)
-            .or_default()
-            .push((item.clone(), value.clone(), new_version));
+        exec.writes_per_site.entry(site).or_default().push((
+            item.clone(),
+            value.clone(),
+            new_version,
+        ));
     }
     Ok(())
 }
@@ -452,13 +466,14 @@ fn start_quorum(
     };
     drop(schema);
 
-    let suspected_down: Vec<SiteId> = shared
-        .net
-        .faults()
-        .crashed_nodes()
-        .iter()
-        .filter_map(|n| n.as_site())
-        .collect();
+    // The fault controller's live site-status view: the planners route
+    // around (reads), shrink their write sets to (available copies, primary
+    // copy) or degrade their quorum trees around (tree quorum) the sites
+    // known to be down. Partitioned-but-alive sites are deliberately *not*
+    // in this list — treating them as down would let write sets shrink on
+    // both sides of a partition and diverge; instead they stay targets and
+    // the quorum times out, aborting the transaction.
+    let suspected_down: Vec<SiteId> = shared.net.faults().crashed_sites();
     let plan = match access {
         QuorumAccess::Read => {
             shared
@@ -466,7 +481,7 @@ fn start_quorum(
                 .plan_read(item, &placement, Some(shared.id), &suspected_down)
         }
         QuorumAccess::Write | QuorumAccess::ReadForUpdate => {
-            shared.rcp.plan_write(item, &placement)
+            shared.rcp.plan_write(item, &placement, &suspected_down)
         }
     };
     let targets = plan.targets.clone();
@@ -643,9 +658,7 @@ fn run_commit_protocol(
                         }
                         coordinator.on_vote(site, vote)
                     }
-                    (Msg::AcpPreCommitAck { .. }, Some(site)) => {
-                        coordinator.on_precommit_ack(site)
-                    }
+                    (Msg::AcpPreCommitAck { .. }, Some(site)) => coordinator.on_precommit_ack(site),
                     (Msg::AcpAck { .. }, Some(site)) => coordinator.on_ack(site),
                     _ => CoordinatorAction::Wait,
                 }
@@ -679,9 +692,11 @@ fn run_commit_protocol(
 
     match coordinator.decision() {
         Some(Decision::Commit) => TxnOutcome::Committed,
-        Some(Decision::Abort) => TxnOutcome::Aborted(abort_cause.unwrap_or(AbortCause::AcpTimeout {
-            phase: "prepare".into(),
-        })),
+        Some(Decision::Abort) => {
+            TxnOutcome::Aborted(abort_cause.unwrap_or(AbortCause::AcpTimeout {
+                phase: "prepare".into(),
+            }))
+        }
         None => TxnOutcome::Orphaned,
     }
 }
@@ -697,7 +712,11 @@ fn perform_action(
     match action {
         CoordinatorAction::SendPrepare(targets) => {
             for target in targets {
-                let writes = exec.writes_per_site.get(&target).cloned().unwrap_or_default();
+                let writes = exec
+                    .writes_per_site
+                    .get(&target)
+                    .cloned()
+                    .unwrap_or_default();
                 shared.send(
                     NodeId::Site(target),
                     Msg::AcpPrepare {

@@ -97,9 +97,7 @@ impl ProgressMonitor {
             }
             TxnOutcome::Aborted(cause) => {
                 self.aborted.fetch_add(1, Ordering::Relaxed);
-                self.aborts
-                    .lock()
-                    .record(cause.layer(), cause.to_string());
+                self.aborts.lock().record(cause.layer(), cause.to_string());
             }
             TxnOutcome::Orphaned => {
                 self.orphans.fetch_add(1, Ordering::Relaxed);
@@ -169,10 +167,7 @@ mod tests {
         monitor.record_submitted();
         monitor.record_submitted();
         monitor.record_result(&result(TxnOutcome::Committed, 5));
-        monitor.record_result(&result(
-            TxnOutcome::Aborted(AbortCause::UserAbort),
-            7,
-        ));
+        monitor.record_result(&result(TxnOutcome::Aborted(AbortCause::UserAbort), 7));
         monitor.record_result(&result(TxnOutcome::Orphaned, 0));
 
         let snap = monitor.snapshot();
@@ -180,7 +175,10 @@ mod tests {
         assert_eq!(snap.committed, 1);
         assert_eq!(snap.aborted, 1);
         assert_eq!(snap.orphans, 1);
-        assert_eq!(snap.response_time.count, 2, "orphans do not contribute latency");
+        assert_eq!(
+            snap.response_time.count, 2,
+            "orphans do not contribute latency"
+        );
         assert!(snap.commit_rate() > 0.49 && snap.commit_rate() < 0.51);
         assert!(snap.elapsed_secs >= 0.0);
     }

@@ -46,9 +46,7 @@ impl NameServer {
         let dist = distribution.clone();
         let thread = std::thread::Builder::new()
             .name("rainbow-nameserver".into())
-            .spawn(move || {
-                run_name_server(net, mailbox, db, dist, thread_shutdown, thread_lookups)
-            })
+            .spawn(move || run_name_server(net, mailbox, db, dist, thread_shutdown, thread_lookups))
             .expect("failed to spawn name server thread");
         NameServer {
             shutdown,

@@ -101,7 +101,11 @@ impl SiteShared {
     fn ensure_participant(&self, txn: TxnId, ts: Timestamp, coordinator: NodeId) -> TxnContext {
         let mut participants = self.participants.lock();
         let entry = participants.entry(txn).or_insert_with(|| ParticipantEntry {
-            machine: Participant::new(txn, coordinator.as_site().unwrap_or(self.id), self.stack.acp),
+            machine: Participant::new(
+                txn,
+                coordinator.as_site().unwrap_or(self.id),
+                self.stack.acp,
+            ),
             ctx: TxnContext::new(txn, ts),
             coordinator,
             last_activity: Instant::now(),
@@ -147,7 +151,9 @@ impl SiteHandle {
         let schema = schema.ok_or_else(|| {
             RainbowError::Timeout(format!("site {id} could not fetch the schema"))
         })?;
-        Ok(Self::spawn_with_schema(id, stack, schema, net, mailbox, metrics))
+        Ok(Self::spawn_with_schema(
+            id, stack, schema, net, mailbox, metrics,
+        ))
     }
 
     /// Spawns a site with an explicitly provided schema (no name-server
@@ -362,9 +368,14 @@ fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
             let _ = std::thread::Builder::new()
                 .name("rainbow-copy-read".into())
                 .spawn(move || {
-                    handle_copy_access(handler_shared, from, txn, ts, item, CopyAccess::Read {
-                        for_update,
-                    })
+                    handle_copy_access(
+                        handler_shared,
+                        from,
+                        txn,
+                        ts,
+                        item,
+                        CopyAccess::Read { for_update },
+                    )
                 });
         }
         Msg::CopyPrewrite { txn, ts, item } => {
@@ -401,8 +412,12 @@ fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
         }
         // Messages a site never receives (or that only matter to clients /
         // the name server) are ignored.
-        Msg::TxnDone { .. } | Msg::NsGetSchema | Msg::CopyReply { .. } | Msg::AcpVote { .. }
-        | Msg::AcpPreCommitAck { .. } | Msg::AcpAck { .. } => {}
+        Msg::TxnDone { .. }
+        | Msg::NsGetSchema
+        | Msg::CopyReply { .. }
+        | Msg::AcpVote { .. }
+        | Msg::AcpPreCommitAck { .. }
+        | Msg::AcpAck { .. } => {}
     }
 }
 
@@ -492,12 +507,10 @@ fn handle_copy_access(
                     };
                     if !still_active {
                         shared.ccp().abort(&ctx);
-                        CopyAccessResult::Denied(
-                            rainbow_common::txn::AbortCause::CcpLockConflict {
-                                item: item.clone(),
-                                holder: None,
-                            },
-                        )
+                        CopyAccessResult::Denied(rainbow_common::txn::AbortCause::CcpLockConflict {
+                            item: item.clone(),
+                            holder: None,
+                        })
                     } else {
                         let (value, version) = match value_override {
                             Some(pair) => pair,
@@ -841,7 +854,9 @@ mod tests {
                 },
             )
             .unwrap();
-        let _ = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        let _ = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .unwrap();
 
         // Prepare with the write payload.
         net.handle()
@@ -855,7 +870,9 @@ mod tests {
                 },
             )
             .unwrap();
-        let vote = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        let vote = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .unwrap();
         assert!(matches!(
             vote.payload,
             Msg::AcpVote {
@@ -866,9 +883,18 @@ mod tests {
 
         // Decide commit.
         net.handle()
-            .send(client, NodeId::site(0), Msg::AcpDecision { txn, decision: Decision::Commit })
+            .send(
+                client,
+                NodeId::site(0),
+                Msg::AcpDecision {
+                    txn,
+                    decision: Decision::Commit,
+                },
+            )
             .unwrap();
-        let ack = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        let ack = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .unwrap();
         assert!(matches!(ack.payload, Msg::AcpAck { .. }));
 
         let snapshot = site.database_snapshot();
@@ -894,7 +920,9 @@ mod tests {
                 },
             )
             .unwrap();
-        let ack = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        let ack = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .unwrap();
         assert!(matches!(ack.payload, Msg::AcpAck { .. }));
     }
 
@@ -912,7 +940,9 @@ mod tests {
         net.handle()
             .send(client, NodeId::site(0), Msg::AcpStatusQuery { txn })
             .unwrap();
-        let reply = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        let reply = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .unwrap();
         assert!(matches!(
             reply.payload,
             Msg::AcpStatusReply {
@@ -931,7 +961,9 @@ mod tests {
                 },
             )
             .unwrap();
-        let reply = client_mailbox.recv_timeout(Duration::from_millis(1000)).unwrap();
+        let reply = client_mailbox
+            .recv_timeout(Duration::from_millis(1000))
+            .unwrap();
         assert!(matches!(
             reply.payload,
             Msg::AcpStatusReply { decision: None, .. }

@@ -11,8 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// How long a message takes from sender to receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LatencyModel {
     /// Deliver immediately (useful for protocol unit tests).
     #[default]
@@ -37,7 +36,6 @@ pub enum LatencyModel {
         std_micros: u64,
     },
 }
-
 
 impl LatencyModel {
     /// Convenience constructor: a constant delay.

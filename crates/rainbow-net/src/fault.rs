@@ -8,6 +8,7 @@
 
 use crate::node::NodeId;
 use parking_lot::RwLock;
+use rainbow_common::SiteId;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -62,6 +63,33 @@ impl FaultController {
     /// Currently crashed nodes.
     pub fn crashed_nodes(&self) -> Vec<NodeId> {
         self.crashed.read().iter().copied().collect()
+    }
+
+    /// Currently crashed *sites* — the "suspected down" view the
+    /// replication planners consult when assembling quorums. Crashes are
+    /// ground truth in the simulator (the paper's fault-injection panel),
+    /// so this is the strongest failure knowledge a protocol may safely
+    /// use; partitions are intentionally excluded (see
+    /// [`FaultController::unreachable_from`]).
+    pub fn crashed_sites(&self) -> Vec<SiteId> {
+        self.crashed
+            .read()
+            .iter()
+            .filter_map(|n| n.as_site())
+            .collect()
+    }
+
+    /// Every node `origin` currently cannot exchange messages with, whether
+    /// crashed or separated by a partition, out of `peers`. Useful for
+    /// experiment scripts and diagnostics; *not* fed to the replication
+    /// planners, because acting on partition-local unreachability would let
+    /// both sides of a split shrink their write sets and diverge.
+    pub fn unreachable_from(&self, origin: NodeId, peers: &[NodeId]) -> Vec<NodeId> {
+        peers
+            .iter()
+            .filter(|peer| **peer != origin && !self.can_communicate(origin, **peer))
+            .copied()
+            .collect()
     }
 
     /// Number of times `node` has crashed so far (its crash epoch).
@@ -218,6 +246,24 @@ mod tests {
         f.clear();
         assert!(!f.is_crashed(NodeId::site(0)));
         assert!(!f.is_partitioned(NodeId::site(1), NodeId::site(2)));
+    }
+
+    #[test]
+    fn crashed_sites_and_unreachable_views() {
+        let f = FaultController::new();
+        f.crash(NodeId::site(1));
+        f.crash(NodeId::NameServer);
+        // Only site nodes show up in the planner-facing view.
+        assert_eq!(f.crashed_sites(), vec![SiteId(1)]);
+
+        f.partition(&[vec![NodeId::site(2)]]);
+        let peers = [NodeId::site(0), NodeId::site(1), NodeId::site(2)];
+        let unreachable = f.unreachable_from(NodeId::site(0), &peers);
+        // Site 1 is crashed, site 2 is across the partition; site 0 itself
+        // is never listed.
+        assert_eq!(unreachable, vec![NodeId::site(1), NodeId::site(2)]);
+        // ...but the planner view still only suspects the crash.
+        assert_eq!(f.crashed_sites(), vec![SiteId(1)]);
     }
 
     #[test]

@@ -162,9 +162,12 @@ impl<M: NetMessage> NetHandle<M> {
             return Ok(id);
         }
 
-        shared
-            .counters
-            .record_sent(from, to, envelope.payload.kind(), envelope.payload.size_hint());
+        shared.counters.record_sent(
+            from,
+            to,
+            envelope.payload.kind(),
+            envelope.payload.size_hint(),
+        );
 
         // Crash / partition checks at send time.
         if shared.faults.is_crashed(from) || shared.faults.is_crashed(to) {
@@ -474,8 +477,14 @@ mod tests {
         let handle = net.handle();
         handle.send(a, b, TestMsg::Ping(1)).unwrap();
         handle.send(a, c, TestMsg::Ping(2)).unwrap();
-        assert!(recv_with_timeout(&rx_b, 500).is_some(), "same-group traffic must flow");
-        assert!(recv_with_timeout(&rx_c, 50).is_none(), "cross-group traffic must be blocked");
+        assert!(
+            recv_with_timeout(&rx_b, 500).is_some(),
+            "same-group traffic must flow"
+        );
+        assert!(
+            recv_with_timeout(&rx_c, 50).is_none(),
+            "cross-group traffic must be blocked"
+        );
 
         net.faults().heal_partition();
         handle.send(a, c, TestMsg::Ping(3)).unwrap();
@@ -529,7 +538,11 @@ mod tests {
             .collect();
         let n = net
             .handle()
-            .broadcast(sender, receivers.iter().map(|(id, _)| *id), TestMsg::Pong(9))
+            .broadcast(
+                sender,
+                receivers.iter().map(|(id, _)| *id),
+                TestMsg::Pong(9),
+            )
             .unwrap();
         assert_eq!(n, 4);
         for (_, rx) in &receivers {
@@ -545,7 +558,9 @@ mod tests {
         let a = NodeId::site(0);
         net.register(a);
         // site1 never registered.
-        net.handle().send(a, NodeId::site(1), TestMsg::Ping(0)).unwrap();
+        net.handle()
+            .send(a, NodeId::site(1), TestMsg::Ping(0))
+            .unwrap();
         assert_eq!(net.counters().sent(), 1);
         assert_eq!(net.counters().delivered(), 0);
     }
@@ -595,7 +610,10 @@ mod tests {
         let handle = net.handle();
         handle.send(a, b, TestMsg::Ping(1)).unwrap();
         handle.send(b, a, TestMsg::Pong(2)).unwrap();
-        assert!(recv_with_timeout(&rx_b, 50).is_none(), "a->b is fully lossy");
+        assert!(
+            recv_with_timeout(&rx_b, 50).is_none(),
+            "a->b is fully lossy"
+        );
         assert!(recv_with_timeout(&rx_a, 500).is_some(), "b->a is perfect");
     }
 

@@ -85,11 +85,21 @@ mod tests {
 
     #[test]
     fn ordering_groups_sites_before_nameserver_and_clients() {
-        let mut nodes = vec![NodeId::Client(0), NodeId::NameServer, NodeId::site(1), NodeId::site(0)];
+        let mut nodes = vec![
+            NodeId::Client(0),
+            NodeId::NameServer,
+            NodeId::site(1),
+            NodeId::site(0),
+        ];
         nodes.sort();
         assert_eq!(
             nodes,
-            vec![NodeId::site(0), NodeId::site(1), NodeId::NameServer, NodeId::Client(0)]
+            vec![
+                NodeId::site(0),
+                NodeId::site(1),
+                NodeId::NameServer,
+                NodeId::Client(0)
+            ]
         );
     }
 }

@@ -1,7 +1,8 @@
 //! # rainbow-replication
 //!
 //! Replication control protocols (RCP) of the Rainbow reproduction:
-//! Read-One-Write-All (ROWA) and Quorum Consensus (QC, the Rainbow default).
+//! Read-One-Write-All (ROWA), Quorum Consensus (QC, the Rainbow default),
+//! Available Copies (AC), Tree Quorum (TQ) and Primary Copy (PC).
 //!
 //! Section 2.1 of the paper describes the QC flow: "QC starts by building a
 //! quorum (read or write) for the first operation of the transaction. To do
@@ -18,8 +19,11 @@
 //!   decides when the quorum is assembled or has become impossible, picks
 //!   the highest-version read result and the next write version);
 //! * [`protocols`] — the [`protocols::ReplicationControl`] trait with the
-//!   ROWA and QC planners and a factory keyed by
-//!   [`rainbow_common::protocol::RcpKind`].
+//!   five planners and a factory keyed by
+//!   [`rainbow_common::protocol::RcpKind`]. The planners adapt their target
+//!   sets to the fault controller's live site-status view (passed in as
+//!   `suspected_down`), which is what makes the fault-aware protocols (AC,
+//!   TQ's degraded reads, PC's lease failover) possible as pure logic.
 //!
 //! The transaction manager in `rainbow-core` drives the plans over the
 //! simulated network: one copy-access request per target site, one response
@@ -32,4 +36,7 @@ pub mod plan;
 pub mod protocols;
 
 pub use plan::{QuorumCollector, QuorumKind, QuorumOutcome, QuorumPlan, QuorumResponse};
-pub use protocols::{make_rcp, QuorumConsensus, ReadOneWriteAll, ReplicationControl};
+pub use protocols::{
+    make_rcp, AvailableCopies, PrimaryCopy, QuorumConsensus, ReadOneWriteAll, ReplicationControl,
+    TreeQuorum,
+};

@@ -235,7 +235,10 @@ mod tests {
     fn quorum_assembles_when_votes_reach_threshold() {
         let mut collector = plan(QuorumKind::Read, &[(0, 1), (1, 1), (2, 1)], 2).collector();
         assert_eq!(collector.outcome(), QuorumOutcome::Pending);
-        assert_eq!(collector.record_response(response(0, 1, Some(10))), QuorumOutcome::Pending);
+        assert_eq!(
+            collector.record_response(response(0, 1, Some(10))),
+            QuorumOutcome::Pending
+        );
         assert_eq!(
             collector.record_response(response(1, 2, Some(20))),
             QuorumOutcome::Assembled
@@ -249,7 +252,10 @@ mod tests {
     fn quorum_becomes_impossible_when_too_many_sites_fail() {
         let mut collector = plan(QuorumKind::Write, &[(0, 1), (1, 1), (2, 1)], 2).collector();
         assert_eq!(collector.record_failure(SiteId(0)), QuorumOutcome::Pending);
-        assert_eq!(collector.record_failure(SiteId(1)), QuorumOutcome::Impossible);
+        assert_eq!(
+            collector.record_failure(SiteId(1)),
+            QuorumOutcome::Impossible
+        );
         assert!(!collector.is_assembled());
         let cause = collector.abort_cause();
         assert!(matches!(
@@ -278,7 +284,10 @@ mod tests {
         collector.record_response(response(0, 1, Some(1)));
         assert!(collector.is_assembled());
         collector.record_failure(SiteId(0));
-        assert!(collector.is_assembled(), "a received response keeps counting");
+        assert!(
+            collector.is_assembled(),
+            "a received response keeps counting"
+        );
     }
 
     #[test]
@@ -305,7 +314,10 @@ mod tests {
     #[test]
     fn weighted_votes_are_summed() {
         let mut collector = plan(QuorumKind::Write, &[(0, 3), (1, 1), (2, 1)], 3).collector();
-        assert_eq!(collector.record_response(response(0, 1, None)), QuorumOutcome::Assembled);
+        assert_eq!(
+            collector.record_response(response(0, 1, None)),
+            QuorumOutcome::Assembled
+        );
         assert_eq!(collector.collected_votes(), 3);
 
         let mut collector = plan(QuorumKind::Write, &[(0, 3), (1, 1), (2, 1)], 3).collector();

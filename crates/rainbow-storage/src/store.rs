@@ -4,7 +4,9 @@
 use crate::recovery::{recover, RecoveryOutcome};
 use crate::wal::{LogRecord, WriteAheadLog};
 use parking_lot::RwLock;
-use rainbow_common::{FxHashMap, ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version};
+use rainbow_common::{
+    FxHashMap, ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -373,7 +375,10 @@ mod tests {
 
         let installed = store.install(&txn(1));
         assert_eq!(installed.len(), 1);
-        assert_eq!(store.read(&item("x")).unwrap(), (Value::Int(42), Version(1)));
+        assert_eq!(
+            store.read(&item("x")).unwrap(),
+            (Value::Int(42), Version(1))
+        );
         assert!(store.staged_writes(&txn(1)).is_empty());
     }
 
@@ -403,14 +408,23 @@ mod tests {
         assert_eq!(prepared.len(), 1);
         let installed = storage.commit(t);
         assert_eq!(installed.len(), 1);
-        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(100), Version(1)));
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(100), Version(1))
+        );
 
         storage.crash();
         assert!(storage.is_empty(), "volatile state must be lost");
         let outcome = storage.recover();
         assert!(outcome.in_doubt.is_empty());
-        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(100), Version(1)));
-        assert_eq!(storage.read(&item("y")).unwrap(), (Value::Int(10), Version(0)));
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(100), Version(1))
+        );
+        assert_eq!(
+            storage.read(&item("y")).unwrap(),
+            (Value::Int(10), Version(0))
+        );
     }
 
     #[test]
@@ -422,7 +436,10 @@ mod tests {
         // No prepare, no commit: crash.
         storage.crash();
         storage.recover();
-        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(0), Version(0)));
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(0), Version(0))
+        );
         assert!(storage.staged_writes(&t).is_empty());
     }
 
@@ -440,11 +457,17 @@ mod tests {
         assert_eq!(outcome.in_doubt[0].txn, t);
         assert_eq!(outcome.in_doubt[0].writes.len(), 1);
         // The value is still the old one until the in-doubt txn is resolved.
-        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(0), Version(0)));
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(0), Version(0))
+        );
 
         // Resolve it as commit via the explicit-writes path.
         storage.commit_writes(t, outcome.in_doubt[0].writes.clone());
-        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(9), Version(1)));
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(9), Version(1))
+        );
     }
 
     #[test]
@@ -454,11 +477,17 @@ mod tests {
         let t = txn(4);
         storage.stage_write(t, item("x"), Value::Int(2), Version(1));
         storage.abort(t);
-        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(1), Version(0)));
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(1), Version(0))
+        );
         storage.crash();
         let outcome = storage.recover();
         assert!(outcome.in_doubt.is_empty());
-        assert_eq!(storage.read(&item("x")).unwrap(), (Value::Int(1), Version(0)));
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(1), Version(0))
+        );
     }
 
     #[test]

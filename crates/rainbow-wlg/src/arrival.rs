@@ -96,7 +96,9 @@ mod tests {
 
     #[test]
     fn poisson_arrivals_average_the_requested_rate() {
-        let process = ArrivalProcess::Poisson { rate_per_sec: 200.0 };
+        let process = ArrivalProcess::Poisson {
+            rate_per_sec: 200.0,
+        };
         let delays = process.delays(4000, 7);
         let mean_secs: f64 =
             delays.iter().map(|d| d.as_secs_f64()).sum::<f64>() / delays.len() as f64;

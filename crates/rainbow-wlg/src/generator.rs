@@ -7,8 +7,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// How transactions are assigned a home site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum HomePolicy {
     /// Let the cluster pick (round-robin at submission time).
     #[default]
@@ -21,7 +20,6 @@ pub enum HomePolicy {
     /// load used by the load-balance experiment).
     Fixed(SiteId),
 }
-
 
 /// Parameters of a simulated workload — the fields of the "simulated
 /// workload generation panel".
@@ -235,10 +233,8 @@ mod tests {
         let a = WorkloadGenerator::new(params.clone()).generate();
         let b = WorkloadGenerator::new(params).generate();
         assert_eq!(a, b);
-        let c = WorkloadGenerator::new(
-            WorkloadParams::default().with_items(items(8)).with_seed(8),
-        )
-        .generate();
+        let c = WorkloadGenerator::new(WorkloadParams::default().with_items(items(8)).with_seed(8))
+            .generate();
         assert_ne!(a, c);
     }
 

@@ -33,7 +33,11 @@ impl ManualWorkloadBuilder {
     }
 
     /// Adds a write operation to the current transaction.
-    pub fn write(mut self, item: impl Into<rainbow_common::ItemId>, value: impl Into<Value>) -> Self {
+    pub fn write(
+        mut self,
+        item: impl Into<rainbow_common::ItemId>,
+        value: impl Into<Value>,
+    ) -> Self {
         self.push(Operation::write(item, value));
         self
     }
@@ -109,7 +113,10 @@ mod tests {
 
     #[test]
     fn operations_without_begin_get_an_implicit_transaction() {
-        let txns = ManualWorkloadBuilder::new().read("x").increment("y", 5).build();
+        let txns = ManualWorkloadBuilder::new()
+            .read("x")
+            .increment("y", 5)
+            .build();
         assert_eq!(txns.len(), 1);
         assert_eq!(txns[0].label, "manual-1");
         assert_eq!(txns[0].write_set(), vec![ItemId::new("y")]);

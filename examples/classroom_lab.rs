@@ -67,7 +67,10 @@ fn main() {
     let during_failure = session
         .submit(TxnSpec::new(
             "while-site2-down",
-            vec![Operation::increment("account1", -50), Operation::increment("account2", 50)],
+            vec![
+                Operation::increment("account1", -50),
+                Operation::increment("account2", 50),
+            ],
         ))
         .expect("submit during failure");
     println!("  during failure: {:?}", during_failure.outcome);

@@ -24,17 +24,16 @@ fn main() {
                 .with_commit_timeout(Duration::from_millis(400)),
         )
         .expect("protocols");
-    session.configure_uniform_database(12, 1000, 3).expect("database");
+    session
+        .configure_uniform_database(12, 1000, 3)
+        .expect("database");
     session.set_client_timeout(Duration::from_secs(2));
     session.start().expect("start");
 
     // Seed the database with a committed marker value we will check after
     // the crash/recovery cycle.
     let marker = session
-        .submit(TxnSpec::new(
-            "marker",
-            vec![Operation::write("x0", 777i64)],
-        ))
+        .submit(TxnSpec::new("marker", vec![Operation::write("x0", 777i64)]))
         .expect("marker");
     println!("marker transaction: {:?}", marker.outcome);
 
@@ -83,6 +82,9 @@ fn main() {
     );
     println!(
         "{}",
-        render_stats_panel("fault tolerance demo", &session.statistics().expect("stats"))
+        render_stats_panel(
+            "fault tolerance demo",
+            &session.statistics().expect("stats")
+        )
     );
 }

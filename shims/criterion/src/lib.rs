@@ -137,7 +137,6 @@ pub struct Criterion {
     config: Config,
 }
 
-
 impl Criterion {
     /// Number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {

@@ -465,8 +465,9 @@ impl Deserialize for Duration {
 /// Looks up and deserializes a struct field by name (derive-macro helper).
 pub fn get_field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, DeError> {
     match map.iter().find(|(key, _)| key == name) {
-        Some((_, value)) => T::from_content(value)
-            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        Some((_, value)) => {
+            T::from_content(value).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+        }
         None => Err(DeError::custom(format!("missing field `{name}`"))),
     }
 }

@@ -17,7 +17,10 @@ enum Item {
     /// `struct S;`
     UnitStruct { name: String },
     /// `enum E { ... }`
-    Enum { name: String, variants: Vec<Variant> },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// One enum variant.
@@ -230,9 +233,7 @@ fn gen_serialize(item: &Item) -> String {
         Item::NamedStruct { name, fields } => {
             let entries: String = fields
                 .iter()
-                .map(|f| {
-                    format!("({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f})),")
-                })
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f})),"))
                 .collect();
             format!(
                 "#[automatically_derived]\n\
@@ -276,9 +277,9 @@ fn gen_serialize(item: &Item) -> String {
                 .map(|variant| {
                     let v = &variant.name;
                     match &variant.kind {
-                        VariantKind::Unit => format!(
-                            "{name}::{v} => ::serde::Content::Str({v:?}.to_string()),"
-                        ),
+                        VariantKind::Unit => {
+                            format!("{name}::{v} => ::serde::Content::Str({v:?}.to_string()),")
+                        }
                         VariantKind::Tuple(1) => format!(
                             "{name}::{v}(f0) => ::serde::Content::Map(vec![({v:?}.to_string(), \
                              ::serde::Serialize::to_content(f0))]),"

@@ -14,6 +14,7 @@ fn stack() -> ProtocolStack {
         .with_lock_wait_timeout(Duration::from_millis(200))
         .with_quorum_timeout(Duration::from_millis(600))
         .with_commit_timeout(Duration::from_millis(600))
+        .with_parallel_quorums_from_env()
 }
 
 #[test]
@@ -65,16 +66,33 @@ fn per_link_latency_overrides_shape_response_times() {
     // whose quorums involve it are visibly slower than purely local ones.
     let far = NodeId::site(2);
     let mut network = NetworkConfig::perfect().with_seed(3);
-    for near in [NodeId::site(0), NodeId::site(1), NodeId::NameServer, NodeId::Client(0)] {
+    for near in [
+        NodeId::site(0),
+        NodeId::site(1),
+        NodeId::NameServer,
+        NodeId::Client(0),
+    ] {
         network = network
-            .override_link(near, far, LinkConfig::with_latency(LatencyModel::constant(Duration::from_millis(30))))
-            .override_link(far, near, LinkConfig::with_latency(LatencyModel::constant(Duration::from_millis(30))));
+            .override_link(
+                near,
+                far,
+                LinkConfig::with_latency(LatencyModel::constant(Duration::from_millis(30))),
+            )
+            .override_link(
+                far,
+                near,
+                LinkConfig::with_latency(LatencyModel::constant(Duration::from_millis(30))),
+            );
     }
     let distribution = DistributionSchema::one_site_per_host(3);
     let mut database = DatabaseSchema::new();
     // "local" lives on sites 0 and 1 only; "remote" lives on sites 0 and 2,
     // so its write quorum (both copies) must cross the slow link.
-    database.declare("local", 0i64, ItemPlacement::majority(vec![SiteId(0), SiteId(1)]));
+    database.declare(
+        "local",
+        0i64,
+        ItemPlacement::majority(vec![SiteId(0), SiteId(1)]),
+    );
     database.declare(
         "remote",
         0i64,
@@ -89,12 +107,10 @@ fn per_link_latency_overrides_shape_response_times() {
     };
     let cluster = Cluster::start(config).unwrap();
 
-    let local = cluster.submit(
-        TxnSpec::new("local", vec![Operation::write("local", 1i64)]).at_site(SiteId(0)),
-    );
-    let remote = cluster.submit(
-        TxnSpec::new("remote", vec![Operation::write("remote", 1i64)]).at_site(SiteId(0)),
-    );
+    let local = cluster
+        .submit(TxnSpec::new("local", vec![Operation::write("local", 1i64)]).at_site(SiteId(0)));
+    let remote = cluster
+        .submit(TxnSpec::new("remote", vec![Operation::write("remote", 1i64)]).at_site(SiteId(0)));
     assert!(local.committed(), "local outcome: {:?}", local.outcome);
     assert!(remote.committed(), "remote outcome: {:?}", remote.outcome);
     assert!(
@@ -110,7 +126,11 @@ fn partial_replication_places_copies_only_at_declared_holders() {
     let distribution = DistributionSchema::one_site_per_host(3);
     let mut database = DatabaseSchema::new();
     database.declare("a", 1i64, ItemPlacement::majority(vec![SiteId(0)]));
-    database.declare("b", 2i64, ItemPlacement::majority(vec![SiteId(1), SiteId(2)]));
+    database.declare(
+        "b",
+        2i64,
+        ItemPlacement::majority(vec![SiteId(1), SiteId(2)]),
+    );
     let config = ClusterConfig {
         distribution,
         database,

@@ -230,7 +230,10 @@ fn run_workload(parallel: bool) -> WorkloadObservation {
 fn parallel_fanout_matches_sequential_quorums() {
     let (sequential_reads, sequential_state) = run_workload(false);
     let (parallel_reads, parallel_state) = run_workload(true);
-    assert_eq!(sequential_reads, parallel_reads, "per-txn read values differ");
+    assert_eq!(
+        sequential_reads, parallel_reads,
+        "per-txn read values differ"
+    );
     assert_eq!(sequential_state, parallel_state, "final states differ");
 }
 
@@ -244,7 +247,9 @@ fn parallel_fanout_separates_mixed_access_kinds_on_one_item() {
     for rcp in [RcpKind::Rowa, RcpKind::QuorumConsensus] {
         let mut session = Session::new();
         session.configure_sites(3).unwrap();
-        session.configure_protocols(stack(true).with_rcp(rcp)).unwrap();
+        session
+            .configure_protocols(stack(true).with_rcp(rcp))
+            .unwrap();
         session.configure_uniform_database(4, 7, 3).unwrap();
         session.start().unwrap();
         let wlg = WorkloadRunner::new(&session);
@@ -298,7 +303,10 @@ fn parallel_fanout_handles_duplicate_items_in_one_txn() {
             ],
         ))
         .unwrap();
-    assert!(result.committed(), "duplicate-item txn must commit: {result:?}");
+    assert!(
+        result.committed(),
+        "duplicate-item txn must commit: {result:?}"
+    );
     assert_eq!(result.reads.get(&ItemId::new("x0")), Some(&Value::Int(7)));
 
     let audit = wlg

@@ -14,6 +14,7 @@ fn quick_stack() -> ProtocolStack {
         .with_lock_wait_timeout(Duration::from_millis(200))
         .with_quorum_timeout(Duration::from_millis(600))
         .with_commit_timeout(Duration::from_millis(600))
+        .with_parallel_quorums_from_env()
 }
 
 fn started_session(sites: usize, items: usize, degree: usize) -> Session {
@@ -65,10 +66,7 @@ fn bank_transfer_conserves_total_balance() {
 fn committed_writes_are_durable_across_site_crash_and_recovery() {
     let session = started_session(3, 6, 3);
     let write = session
-        .submit(TxnSpec::new(
-            "w",
-            vec![Operation::write("x0", 4242i64)],
-        ))
+        .submit(TxnSpec::new("w", vec![Operation::write("x0", 4242i64)]))
         .unwrap();
     assert!(write.committed());
 
@@ -121,7 +119,11 @@ fn concurrent_increments_on_one_item_are_serializable() {
             .submit(TxnSpec::new("check", vec![Operation::read("x1")]))
             .unwrap();
     }
-    assert!(read.committed(), "check read kept aborting: {:?}", read.outcome);
+    assert!(
+        read.committed(),
+        "check read kept aborting: {:?}",
+        read.outcome
+    );
     assert_eq!(
         read.reads.get(&ItemId::new("x1")),
         Some(&Value::Int(1000 + commits)),
@@ -165,7 +167,10 @@ fn statistics_panel_accounts_for_every_submitted_transaction() {
     assert!(stats.response_time.count > 0);
     // The rendered panel mentions the headline numbers.
     let panel = session.render_statistics("integration").unwrap();
-    assert!(panel.contains(&format!("submitted transactions      : {}", stats.submitted)));
+    assert!(panel.contains(&format!(
+        "submitted transactions      : {}",
+        stats.submitted
+    )));
 }
 
 #[test]
@@ -206,9 +211,18 @@ fn read_only_transactions_see_a_consistent_snapshot_of_committed_data() {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    for result in results.iter().filter(|r| r.committed() && !r.reads.is_empty()) {
-        let x0 = result.reads.get(&ItemId::new("x0")).and_then(|v| v.as_int());
-        let x1 = result.reads.get(&ItemId::new("x1")).and_then(|v| v.as_int());
+    for result in results
+        .iter()
+        .filter(|r| r.committed() && !r.reads.is_empty())
+    {
+        let x0 = result
+            .reads
+            .get(&ItemId::new("x0"))
+            .and_then(|v| v.as_int());
+        let x1 = result
+            .reads
+            .get(&ItemId::new("x1"))
+            .and_then(|v| v.as_int());
         if let (Some(a), Some(b)) = (x0, x1) {
             assert_eq!(
                 a, b,

@@ -13,14 +13,13 @@ fn stack() -> ProtocolStack {
         .with_lock_wait_timeout(Duration::from_millis(150))
         .with_quorum_timeout(Duration::from_millis(400))
         .with_commit_timeout(Duration::from_millis(400))
+        .with_parallel_quorums_from_env()
 }
 
 fn session(sites: usize, items: usize, degree: usize, rcp: RcpKind) -> Session {
     let mut session = Session::new();
     session.configure_sites(sites).unwrap();
-    session
-        .configure_protocols(stack().with_rcp(rcp))
-        .unwrap();
+    session.configure_protocols(stack().with_rcp(rcp)).unwrap();
     session
         .configure_uniform_database(items, 100, degree)
         .unwrap();
@@ -153,7 +152,10 @@ fn crash_recover_cycles_during_a_workload_leave_replicas_consistent() {
     // No two copies of any item disagree about the value at a given version.
     let pm = ProgressRunner::new(&session);
     let divergence = pm.replica_divergence().unwrap();
-    assert!(divergence.is_empty(), "divergence after crashes: {divergence:?}");
+    assert!(
+        divergence.is_empty(),
+        "divergence after crashes: {divergence:?}"
+    );
 
     // The accounting still adds up.
     let stats = session.statistics().unwrap();

@@ -50,7 +50,7 @@ proptest! {
         let item = ItemId::new("x");
 
         let mut read = rcp.plan_read(&item, &placement, None, &[]).collector();
-        let mut write = rcp.plan_write(&item, &placement).collector();
+        let mut write = rcp.plan_write(&item, &placement, &[]).collector();
         let mut read_sites = Vec::new();
         let mut write_sites = Vec::new();
         for (i, site) in sites.iter().enumerate() {

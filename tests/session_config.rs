@@ -26,7 +26,8 @@ fn a_full_configuration_survives_the_json_round_trip() {
         .override_link(
             rainbow_net::NodeId::site(0),
             rainbow_net::NodeId::site(1),
-            LinkConfig::with_latency(LatencyModel::constant(Duration::from_millis(20))).with_loss(0.01),
+            LinkConfig::with_latency(LatencyModel::constant(Duration::from_millis(20)))
+                .with_loss(0.01),
         );
     config.client_timeout_ms = 4321;
     config.seed = 7;
@@ -108,11 +109,7 @@ fn configuration_validation_rejects_every_kind_of_mistake() {
     config.database.declare(
         "x",
         0i64,
-        ItemPlacement::weighted(
-            (0..4).map(|i| (SiteId(i), 1)).collect(),
-            1,
-            2,
-        ),
+        ItemPlacement::weighted((0..4).map(|i| (SiteId(i), 1)).collect(), 1, 2),
     );
     assert!(config.validate().is_err());
 
@@ -165,7 +162,9 @@ fn weighted_placements_and_explicit_items_work_through_the_session() {
             ),
         )
         .unwrap();
-    session.declare_item("cold", 5i64, &[SiteId(1), SiteId(2)]).unwrap();
+    session
+        .declare_item("cold", 5i64, &[SiteId(1), SiteId(2)])
+        .unwrap();
     session.start().unwrap();
 
     let result = session
