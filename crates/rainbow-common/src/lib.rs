@@ -57,5 +57,5 @@ pub use ids::{CopyId, HostId, ItemId, MessageId, SiteId, Timestamp, TxnId, Versi
 pub use op::{Operation, OperationKind};
 pub use protocol::{AcpKind, CcpKind, ProtocolStack, RcpKind};
 pub use stats::{AbortBreakdown, LatencyStats, StatsSnapshot};
-pub use txn::{AbortCause, TxnOutcome, TxnResult, TxnSpec};
+pub use txn::{AbortCause, TxnError, TxnOutcome, TxnReceipt, TxnResult, TxnSpec};
 pub use value::Value;

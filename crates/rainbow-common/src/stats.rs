@@ -8,10 +8,21 @@
 //! indicators. The collectors here are deliberately simple and lock-free
 //! where possible so they can be embedded in every layer.
 
-use crate::txn::AbortLayer;
+use crate::txn::{AbortLayer, TxnOutcome};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// **The** definition of a *finished* transaction, shared by every metric in
+/// the workspace: a transaction is finished exactly when it reached a
+/// client-visible decision — committed or aborted. Orphans never finished
+/// (their fate stayed unknown to the client), so they appear in neither
+/// commit-rate denominators nor throughput numerators. `StatsSnapshot`,
+/// `WorkloadReport` and the sweep tables all derive their rates from this
+/// single predicate so they can never disagree about the denominator again.
+pub fn is_finished(outcome: &TxnOutcome) -> bool {
+    matches!(outcome, TxnOutcome::Committed | TxnOutcome::Aborted(_))
+}
 
 /// Latency distribution summary (response times, commit latencies, ...).
 ///
@@ -199,10 +210,16 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Transactions that finished per [`is_finished`]: committed + aborted,
+    /// orphans excluded. Every rate below divides by this count.
+    pub fn finished(&self) -> u64 {
+        self.committed + self.aborted
+    }
+
     /// Fraction of finished transactions that committed (`0.0` when nothing
     /// finished). This is the paper's "transaction commit rate".
     pub fn commit_rate(&self) -> f64 {
-        let finished = self.committed + self.aborted;
+        let finished = self.finished();
         if finished == 0 {
             0.0
         } else {
@@ -212,7 +229,7 @@ impl StatsSnapshot {
 
     /// Fraction of finished transactions that aborted.
     pub fn abort_rate(&self) -> f64 {
-        let finished = self.committed + self.aborted;
+        let finished = self.finished();
         if finished == 0 {
             0.0
         } else {
@@ -222,7 +239,7 @@ impl StatsSnapshot {
 
     /// Abort rate attributed to one protocol layer.
     pub fn abort_rate_for(&self, layer: AbortLayer) -> f64 {
-        let finished = self.committed + self.aborted;
+        let finished = self.finished();
         if finished == 0 {
             0.0
         } else {
@@ -250,9 +267,9 @@ impl StatsSnapshot {
     }
 
     /// Messages sent per finished transaction; the key metric of the quorum
-    /// message-traffic experiment (ref [3] of the paper).
+    /// message-traffic experiment (ref \[3\] of the paper).
     pub fn messages_per_txn(&self) -> f64 {
-        let finished = self.committed + self.aborted;
+        let finished = self.finished();
         if finished == 0 {
             0.0
         } else {
@@ -405,6 +422,26 @@ mod tests {
         lb.served_requests.insert(1, 10);
         lb.served_requests.insert(2, 10);
         assert!(lb.imbalance() > 0.5);
+    }
+
+    #[test]
+    fn finished_is_the_single_shared_definition() {
+        use crate::txn::{AbortCause, TxnOutcome};
+        assert!(is_finished(&TxnOutcome::Committed));
+        assert!(is_finished(&TxnOutcome::Aborted(AbortCause::UserAbort)));
+        assert!(!is_finished(&TxnOutcome::Orphaned));
+
+        let snap = StatsSnapshot {
+            submitted: 10,
+            committed: 6,
+            aborted: 2,
+            orphans: 2,
+            ..Default::default()
+        };
+        // Orphans are excluded from the denominator of every rate.
+        assert_eq!(snap.finished(), 8);
+        assert!((snap.commit_rate() - 0.75).abs() < 1e-9);
+        assert!((snap.abort_rate() - 0.25).abs() < 1e-9);
     }
 
     #[test]

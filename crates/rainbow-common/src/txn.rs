@@ -145,6 +145,10 @@ pub enum AbortCause {
         /// The failed site.
         site: SiteId,
     },
+    /// An interactive client stopped driving an open conversation: the
+    /// coordinator aborted the transaction after its idle horizon expired so
+    /// the CCP resources it held could not linger.
+    ClientTimeout,
     /// Aborted explicitly by the user / workload generator.
     UserAbort,
 }
@@ -161,8 +165,19 @@ impl AbortCause {
             | AbortCause::CcpDeadlock { .. }
             | AbortCause::CcpTimestampViolation { .. } => AbortLayer::Ccp,
             AbortCause::AcpVotedNo { .. } | AbortCause::AcpTimeout { .. } => AbortLayer::Acp,
-            AbortCause::SiteFailure { .. } | AbortCause::UserAbort => AbortLayer::Other,
+            AbortCause::SiteFailure { .. } | AbortCause::ClientTimeout | AbortCause::UserAbort => {
+                AbortLayer::Other
+            }
         }
+    }
+
+    /// True when a fresh attempt of the same transaction has a plausible
+    /// chance of succeeding: concurrency-control conflicts, quorum timeouts
+    /// and commit-protocol timeouts are transient, while a user abort or an
+    /// abandoned conversation is deliberate. The interactive retry
+    /// combinator ([`TxnError::is_retryable`]) is built on this.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, AbortCause::UserAbort | AbortCause::ClientTimeout)
     }
 }
 
@@ -195,6 +210,7 @@ impl fmt::Display for AbortCause {
             }
             AbortCause::AcpTimeout { phase } => write!(f, "ACP: timeout during {phase}"),
             AbortCause::SiteFailure { site } => write!(f, "site failure at {site}"),
+            AbortCause::ClientTimeout => write!(f, "client abandoned the conversation"),
             AbortCause::UserAbort => write!(f, "user abort"),
         }
     }
@@ -291,6 +307,115 @@ impl TxnResult {
     /// Shorthand used by tests and reports.
     pub fn committed(&self) -> bool {
         self.outcome.is_committed()
+    }
+}
+
+/// Error surfaced by the interactive transaction API (`Client` / `Txn`
+/// handles): every way a conversation can fail, carrying the protocol layer
+/// responsible so an interactive user sees the same abort attribution the
+/// statistics panel reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TxnError {
+    /// The transaction aborted; the cause names the responsible layer
+    /// (CCP deadlock/conflict, RCP quorum unreachable, ACP termination, ...).
+    Aborted(AbortCause),
+    /// The conversation got no reply from the home site within the client
+    /// timeout: the transaction's fate is unknown (the paper's "orphan").
+    Orphaned {
+        /// The home site that stopped answering.
+        home: SiteId,
+    },
+    /// The coordinator no longer recognizes the transaction — the
+    /// conversation idled past the coordinator's horizon and was aborted, or
+    /// the home site lost its volatile state in a crash.
+    Expired,
+    /// The handle was already finished by an earlier error; no further
+    /// operations are possible on it.
+    Finished,
+}
+
+impl TxnError {
+    /// The protocol layer charged with the failure, mirroring
+    /// [`AbortCause::layer`]. Orphans and handle-state errors fall under
+    /// "other", like site failures do.
+    pub fn layer(&self) -> AbortLayer {
+        match self {
+            TxnError::Aborted(cause) => cause.layer(),
+            TxnError::Orphaned { .. } | TxnError::Expired | TxnError::Finished => AbortLayer::Other,
+        }
+    }
+
+    /// The abort cause, when the error is an abort.
+    pub fn abort_cause(&self) -> Option<&AbortCause> {
+        match self {
+            TxnError::Aborted(cause) => Some(cause),
+            _ => None,
+        }
+    }
+
+    /// True when beginning a fresh transaction and replaying the
+    /// conversation may succeed: transient aborts (lock conflicts,
+    /// deadlock victims, quorum/commit timeouts), orphaned conversations
+    /// (retry at another home site) and expired handles. Deliberate aborts
+    /// and handle misuse are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            TxnError::Aborted(cause) => cause.is_transient(),
+            TxnError::Orphaned { .. } | TxnError::Expired => true,
+            TxnError::Finished => false,
+        }
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Aborted(cause) => write!(f, "transaction aborted: {cause}"),
+            TxnError::Orphaned { home } => {
+                write!(f, "transaction orphaned: home site {home} never answered")
+            }
+            TxnError::Expired => write!(f, "the coordinator no longer knows this transaction"),
+            TxnError::Finished => write!(f, "the transaction handle is already finished"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Proof of a committed interactive transaction, returned by `Txn::commit`:
+/// the identity the home site assigned plus everything the conversation
+/// observed and cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnReceipt {
+    /// The transaction id assigned by the home site.
+    pub id: TxnId,
+    /// The label the transaction was begun with.
+    pub label: String,
+    /// Values observed by the conversation's read operations.
+    pub reads: BTreeMap<ItemId, Value>,
+    /// Wall-clock span of the conversation (begin to commit decision).
+    pub response_time: Duration,
+    /// Messages exchanged on behalf of the transaction by the protocol
+    /// layers (client conversation round trips excluded, as in the paper's
+    /// accounting).
+    pub messages: u64,
+    /// Aborted attempts the retry combinator went through before this
+    /// commit (0 for a first-try success).
+    pub restarts: u32,
+}
+
+impl TxnReceipt {
+    /// Builds a receipt from a committed [`TxnResult`]. Returns `None` when
+    /// the result did not commit.
+    pub fn from_result(result: &TxnResult) -> Option<Self> {
+        result.committed().then(|| TxnReceipt {
+            id: result.id,
+            label: result.label.clone(),
+            reads: result.reads.clone(),
+            response_time: result.response_time,
+            messages: result.messages,
+            restarts: result.restarts,
+        })
     }
 }
 
@@ -416,6 +541,52 @@ mod tests {
         assert!(c.to_string().contains("RCP"));
         assert_eq!(AbortLayer::Rcp.to_string(), "RCP");
         assert_eq!(AbortLayer::Other.to_string(), "other");
+    }
+
+    #[test]
+    fn txn_error_layers_and_retryability() {
+        let ccp = TxnError::Aborted(AbortCause::CcpDeadlock {
+            item: ItemId::new("x"),
+        });
+        assert_eq!(ccp.layer(), AbortLayer::Ccp);
+        assert!(ccp.is_retryable());
+        assert!(ccp.abort_cause().is_some());
+        assert!(ccp.to_string().contains("CCP"));
+
+        let user = TxnError::Aborted(AbortCause::UserAbort);
+        assert!(!user.is_retryable(), "deliberate aborts are not retried");
+        let idle = TxnError::Aborted(AbortCause::ClientTimeout);
+        assert!(!idle.is_retryable(), "abandoned conversations are final");
+        assert_eq!(idle.layer(), AbortLayer::Other);
+
+        let orphan = TxnError::Orphaned { home: SiteId(2) };
+        assert!(orphan.is_retryable(), "retry at another home site");
+        assert_eq!(orphan.layer(), AbortLayer::Other);
+        assert!(orphan.to_string().contains("site2"));
+        assert!(TxnError::Expired.is_retryable());
+        assert!(!TxnError::Finished.is_retryable());
+        assert!(TxnError::Finished.abort_cause().is_none());
+    }
+
+    #[test]
+    fn receipt_only_from_committed_results() {
+        let mut result = TxnResult {
+            id: TxnId::new(SiteId(0), 1),
+            label: "t".into(),
+            outcome: TxnOutcome::Committed,
+            reads: BTreeMap::new(),
+            response_time: Duration::from_millis(5),
+            restarts: 1,
+            messages: 12,
+        };
+        let receipt = TxnReceipt::from_result(&result).expect("committed result");
+        assert_eq!(receipt.id, result.id);
+        assert_eq!(receipt.messages, 12);
+        assert_eq!(receipt.restarts, 1);
+        result.outcome = TxnOutcome::Aborted(AbortCause::UserAbort);
+        assert!(TxnReceipt::from_result(&result).is_none());
+        result.outcome = TxnOutcome::Orphaned;
+        assert!(TxnReceipt::from_result(&result).is_none());
     }
 
     #[test]

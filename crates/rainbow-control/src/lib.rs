@@ -54,4 +54,4 @@ pub use runners::{
     run_protocol_sweep, FaultScenario, LatencySummary, ProgressRunner, SweepCell, SweepConfig,
     SweepReport, WorkloadRunner,
 };
-pub use session::{Session, WorkloadReport};
+pub use session::{run_interactive_script, Session, WorkloadReport};

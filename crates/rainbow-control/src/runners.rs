@@ -58,6 +58,15 @@ impl<'a> WorkloadRunner<'a> {
     ) -> RainbowResult<WorkloadReport> {
         self.session.run_params(params, arrival)
     }
+
+    /// Runs a named conversational (interactive) workload profile.
+    pub fn run_interactive(
+        &self,
+        profile: rainbow_wlg::InteractiveProfile,
+        transactions: usize,
+    ) -> RainbowResult<WorkloadReport> {
+        self.session.run_interactive(profile, transactions)
+    }
 }
 
 /// Monitoring facade (the PMlet role).
@@ -353,6 +362,7 @@ fn abort_cause_key(cause: &AbortCause) -> &'static str {
         AbortCause::AcpVotedNo { .. } => "acp-voted-no",
         AbortCause::AcpTimeout { .. } => "acp-timeout",
         AbortCause::SiteFailure { .. } => "site-failure",
+        AbortCause::ClientTimeout => "client-timeout",
         AbortCause::UserAbort => "user-abort",
     }
 }

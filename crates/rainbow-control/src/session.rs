@@ -7,12 +7,16 @@ use crate::config::SessionConfig;
 use crate::report::render_stats_panel;
 use rainbow_common::config::{DatabaseSchema, DistributionSchema, ItemPlacement};
 use rainbow_common::protocol::ProtocolStack;
-use rainbow_common::stats::StatsSnapshot;
-use rainbow_common::txn::{TxnResult, TxnSpec};
+use rainbow_common::stats::{is_finished, StatsSnapshot};
+use rainbow_common::txn::{TxnError, TxnOutcome, TxnResult, TxnSpec};
 use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, Value, Version};
-use rainbow_core::Cluster;
+use rainbow_core::{Client, Cluster, Txn};
 use rainbow_net::NetworkConfig;
-use rainbow_wlg::{ArrivalProcess, WorkloadGenerator, WorkloadParams, WorkloadProfile};
+use rainbow_wlg::{
+    ArrivalProcess, InteractiveProfile, InteractiveScript, WorkloadGenerator, WorkloadParams,
+    WorkloadProfile,
+};
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -50,9 +54,21 @@ impl WorkloadReport {
             .count()
     }
 
-    /// Commit rate of this workload (committed / finished).
+    /// Transactions that finished, per the single workspace-wide definition
+    /// in [`rainbow_common::stats::is_finished`]: committed + aborted,
+    /// orphans excluded. Every rate below uses this same definition, so
+    /// `commit_rate` and `throughput` can never disagree about which
+    /// transactions count.
+    pub fn finished(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| is_finished(&r.outcome))
+            .count()
+    }
+
+    /// Commit rate of this workload: committed / [`WorkloadReport::finished`].
     pub fn commit_rate(&self) -> f64 {
-        let finished = self.committed() + self.aborted();
+        let finished = self.finished();
         if finished == 0 {
             0.0
         } else {
@@ -60,7 +76,8 @@ impl WorkloadReport {
         }
     }
 
-    /// Committed transactions per second of wall-clock time.
+    /// Committed transactions per second of wall-clock time (the numerator
+    /// is the committed subset of [`WorkloadReport::finished`]).
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs <= 0.0 {
@@ -75,7 +92,7 @@ impl WorkloadReport {
         let finished: Vec<&TxnResult> = self
             .results
             .iter()
-            .filter(|r| !r.outcome.is_orphaned())
+            .filter(|r| is_finished(&r.outcome))
             .collect();
         if finished.is_empty() {
             return Duration::ZERO;
@@ -91,7 +108,7 @@ impl WorkloadReport {
 
     /// Messages per finished transaction.
     pub fn messages_per_txn(&self) -> f64 {
-        let finished = (self.committed() + self.aborted()) as f64;
+        let finished = self.finished() as f64;
         if finished == 0.0 {
             0.0
         } else {
@@ -292,6 +309,14 @@ impl Session {
     // Workload submission (manual panel + WLGlet)
     // ------------------------------------------------------------------
 
+    /// An interactive client of the running core: `begin → read/write →
+    /// commit` conversations with typed, layer-attributed errors and a
+    /// retry combinator (see `rainbow_core::client`). The one-shot
+    /// `submit*` methods below are adapters over the same conversations.
+    pub fn client(&self) -> RainbowResult<Client<'_>> {
+        Ok(self.cluster()?.client())
+    }
+
     /// Submits one transaction and waits for its result.
     pub fn submit(&self, spec: TxnSpec) -> RainbowResult<TxnResult> {
         Ok(self.cluster()?.submit(spec))
@@ -351,6 +376,61 @@ impl Session {
         self.run_params(params, arrival)
     }
 
+    /// Generates and runs one of the *conversational* workload profiles:
+    /// every transaction is a closure-driven conversation (read → decide →
+    /// write) interpreted against a live interactive `Txn` handle through
+    /// the retry combinator, so aborted attempts restart with backoff. No
+    /// pre-declared `TxnSpec` can express these workloads.
+    pub fn run_interactive(
+        &self,
+        profile: InteractiveProfile,
+        transactions: usize,
+    ) -> RainbowResult<WorkloadReport> {
+        let cluster = self.cluster()?;
+        let items = self.config.database.item_ids();
+        let specs = profile.generate(&items, transactions, self.config.seed);
+        let started = Instant::now();
+        let mut client = cluster.client();
+        let mut results = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let conversation_started = Instant::now();
+            let conversation =
+                client.run(&spec.label, |txn| run_interactive_script(txn, &spec.script));
+            results.push(match conversation {
+                Ok(((), receipt)) => TxnResult {
+                    id: receipt.id,
+                    label: receipt.label,
+                    outcome: TxnOutcome::Committed,
+                    reads: receipt.reads,
+                    response_time: receipt.response_time,
+                    restarts: receipt.restarts,
+                    messages: receipt.messages,
+                },
+                Err(error) => TxnResult {
+                    id: rainbow_common::TxnId::new(SiteId(u32::MAX), 0),
+                    label: spec.label.clone(),
+                    outcome: match error {
+                        TxnError::Orphaned { .. } => TxnOutcome::Orphaned,
+                        TxnError::Aborted(cause) => TxnOutcome::Aborted(cause),
+                        TxnError::Expired | TxnError::Finished => TxnOutcome::Orphaned,
+                    },
+                    reads: BTreeMap::new(),
+                    // This conversation's span (every retry attempt
+                    // included), not the whole run's elapsed time.
+                    response_time: conversation_started.elapsed(),
+                    restarts: 0,
+                    messages: 0,
+                },
+            });
+        }
+        drop(client);
+        Ok(WorkloadReport {
+            results,
+            stats: cluster.stats(),
+            elapsed: started.elapsed(),
+        })
+    }
+
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
@@ -401,6 +481,52 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Interprets one generated [`InteractiveScript`] against a live transaction
+/// handle, making the conversation's decisions from the values the read
+/// quorums actually observed. Used by [`Session::run_interactive`] and
+/// available to examples and experiment harnesses.
+pub fn run_interactive_script(txn: &mut Txn, script: &InteractiveScript) -> Result<(), TxnError> {
+    match script {
+        InteractiveScript::ConditionalTransfer {
+            source,
+            target,
+            amount,
+        } => {
+            let balance = txn.read(source.clone())?;
+            if balance.as_int().unwrap_or(0) >= *amount {
+                txn.increment(source.clone(), -*amount)?;
+                txn.increment(target.clone(), *amount)?;
+            }
+            Ok(())
+        }
+        InteractiveScript::AuditAndFlag {
+            inputs,
+            flag,
+            threshold,
+        } => {
+            let mut sum = 0i64;
+            for item in inputs {
+                sum += txn.read(item.clone())?.as_int().unwrap_or(0);
+            }
+            if sum < *threshold {
+                txn.write(flag.clone(), sum)?;
+            }
+            Ok(())
+        }
+        InteractiveScript::Replenish {
+            item,
+            low_water,
+            refill,
+        } => {
+            let stock = txn.read(item.clone())?;
+            if stock.as_int().unwrap_or(0) < *low_water {
+                txn.increment(item.clone(), *refill)?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -517,6 +643,72 @@ mod tests {
             )
             .unwrap();
         assert_eq!(report.results.len(), 10);
+    }
+
+    #[test]
+    fn interactive_client_conversation_through_the_session() {
+        let session = quick_session(3, 6);
+        let mut client = session.client().unwrap();
+        let mut txn = client.begin("conversation").unwrap();
+        let before = txn.read("x0").unwrap();
+        assert_eq!(before.as_int(), Some(100));
+        // Decide from the observed value — impossible with a TxnSpec.
+        txn.write("x1", before.as_int().unwrap() + 23).unwrap();
+        let receipt = txn.commit().unwrap();
+        assert_eq!(receipt.label, "conversation");
+
+        let audit = session
+            .submit(TxnSpec::new("audit", vec![Operation::read("x1")]))
+            .unwrap();
+        assert_eq!(audit.reads.get(&ItemId::new("x1")), Some(&Value::Int(123)));
+    }
+
+    #[test]
+    fn interactive_profiles_run_to_completion() {
+        let session = quick_session(3, 8);
+        for profile in rainbow_wlg::InteractiveProfile::all() {
+            let report = session.run_interactive(profile, 6).unwrap();
+            assert_eq!(report.results.len(), 6, "{}", profile.name());
+            assert!(
+                report.committed() > 0,
+                "{} should commit conversations",
+                profile.name()
+            );
+            assert_eq!(report.orphaned(), 0, "{}", profile.name());
+            // The shared finished definition keeps the rates coherent.
+            assert_eq!(report.finished(), report.committed() + report.aborted());
+        }
+    }
+
+    #[test]
+    fn workload_report_rates_share_one_finished_definition() {
+        use rainbow_common::txn::AbortCause;
+        use rainbow_common::TxnId;
+        let result = |outcome| TxnResult {
+            id: TxnId::new(SiteId(0), 1),
+            label: "t".into(),
+            outcome,
+            reads: BTreeMap::new(),
+            response_time: Duration::from_millis(10),
+            restarts: 0,
+            messages: 4,
+        };
+        let report = WorkloadReport {
+            results: vec![
+                result(TxnOutcome::Committed),
+                result(TxnOutcome::Committed),
+                result(TxnOutcome::Aborted(AbortCause::UserAbort)),
+                result(TxnOutcome::Orphaned),
+            ],
+            stats: StatsSnapshot::default(),
+            elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(report.finished(), 3, "orphans never finished");
+        assert!((report.commit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((report.throughput() - 1.0).abs() < 1e-9, "committed / sec");
+        // Orphans contribute neither latency nor the message denominator.
+        assert_eq!(report.mean_response_time(), Duration::from_millis(10));
+        assert!((report.messages_per_txn() - 16.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -7,22 +7,22 @@
 //! paper). The workload generator, the Session API, the examples and every
 //! bench drive the system through this type.
 
+use crate::client::{Client, ClientCore, ClientPool};
 use crate::messages::Msg;
 use crate::metrics::{ProgressMonitor, SiteMetrics};
 use crate::name_server::NameServer;
 use crate::site::SiteHandle;
-use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam_channel::{bounded, Receiver};
 use parking_lot::Mutex;
 use rainbow_common::config::{DatabaseSchema, DistributionSchema};
 use rainbow_common::protocol::ProtocolStack;
 use rainbow_common::stats::StatsSnapshot;
-use rainbow_common::txn::{TxnOutcome, TxnResult, TxnSpec};
-use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version};
+use rainbow_common::txn::{TxnResult, TxnSpec};
+use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, Value, Version};
 use rainbow_net::{FaultController, NetworkConfig, NetworkCounters, NodeId, SimNetwork};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Full configuration of a Rainbow instance.
@@ -108,12 +108,11 @@ pub struct Cluster {
     name_server: NameServer,
     sites: BTreeMap<SiteId, SiteHandle>,
     monitor: Arc<ProgressMonitor>,
-    client_node: NodeId,
-    pending: Arc<Mutex<HashMap<u64, Sender<TxnResult>>>>,
-    next_request: AtomicU64,
-    round_robin: AtomicU64,
-    router_shutdown: Arc<AtomicBool>,
-    router: Option<JoinHandle<()>>,
+    clients: Arc<ClientPool>,
+    next_client: AtomicU64,
+    next_request: Arc<AtomicU64>,
+    round_robin: Arc<AtomicU64>,
+    shut_down: AtomicBool,
 }
 
 impl Cluster {
@@ -147,35 +146,47 @@ impl Cluster {
             sites.insert(spec.id, site);
         }
 
-        // The client endpoint and its result router.
-        let client_node = NodeId::Client(0);
-        let client_mailbox = network.register(client_node);
-        let pending: Arc<Mutex<HashMap<u64, Sender<TxnResult>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let router_shutdown = Arc::new(AtomicBool::new(false));
-        let router = {
-            let pending = Arc::clone(&pending);
-            let monitor = Arc::clone(&monitor);
-            let shutdown = Arc::clone(&router_shutdown);
-            std::thread::Builder::new()
-                .name("rainbow-client-router".into())
-                .spawn(move || client_router(client_mailbox, pending, monitor, shutdown))
-                .expect("failed to spawn client router")
-        };
-
         Ok(Cluster {
             config,
             network,
             name_server,
             sites,
             monitor,
-            client_node,
-            pending,
-            next_request: AtomicU64::new(1),
-            round_robin: AtomicU64::new(0),
-            router_shutdown,
-            router: Some(router),
+            clients: Arc::new(ClientPool::new()),
+            next_client: AtomicU64::new(0),
+            next_request: Arc::new(AtomicU64::new(1)),
+            round_robin: Arc::new(AtomicU64::new(0)),
+            shut_down: AtomicBool::new(false),
         })
+    }
+
+    /// Checks a client endpoint out of the pool, registering a fresh one on
+    /// the network when the pool is empty.
+    fn checkout_core(&self) -> ClientCore {
+        if let Some(core) = self.clients.take() {
+            return core;
+        }
+        let index = self.next_client.fetch_add(1, Ordering::Relaxed) as u32;
+        let node = NodeId::Client(index);
+        let mailbox = self.network.register(node);
+        ClientCore {
+            node,
+            mailbox,
+            net: self.network.handle(),
+            monitor: Arc::clone(&self.monitor),
+            sites: self.site_ids(),
+            round_robin: Arc::clone(&self.round_robin),
+            next_request: Arc::clone(&self.next_request),
+            timeout: self.config.client_timeout,
+        }
+    }
+
+    /// An interactive client of this cluster: `begin → read/write → commit`
+    /// conversations with typed, layer-attributed errors (see the
+    /// [`crate::client`] module). The endpoint returns to the cluster's pool
+    /// when the client is dropped.
+    pub fn client(&self) -> Client<'_> {
+        Client::new(&self.clients, self.checkout_core())
     }
 
     /// The configuration the cluster was built from.
@@ -290,55 +301,37 @@ impl Cluster {
         self.network.faults().heal_partition();
     }
 
-    /// Submits a transaction and returns a receiver for its result. The
-    /// home site is the one named in the spec, or chosen round-robin.
+    /// Submits a one-shot transaction and returns a receiver for its result.
+    /// The home site is the one named in the spec, or chosen round-robin.
+    ///
+    /// This is an adapter: a background driver replays the spec through an
+    /// interactive [`crate::client::Txn`] conversation, so one-shot and
+    /// interactive transactions share a single execution path.
     pub fn submit_async(&self, spec: TxnSpec) -> Receiver<TxnResult> {
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
-        self.pending.lock().insert(request, tx);
-        self.monitor.record_submitted();
-
-        let home = spec.home.unwrap_or_else(|| {
-            let ids = self.site_ids();
-            let index = self.round_robin.fetch_add(1, Ordering::Relaxed) as usize % ids.len();
-            ids[index]
-        });
-        let send_result = self.network.handle().send(
-            self.client_node,
-            NodeId::Site(home),
-            Msg::SubmitTxn { request, spec },
-        );
-        if send_result.is_err() {
-            // Network already shut down: nobody will ever answer; the caller
-            // sees an orphan through the timeout path.
-            self.pending.lock().remove(&request);
-        }
+        let mut core = self.checkout_core();
+        let pool = Arc::clone(&self.clients);
+        std::thread::Builder::new()
+            .name("rainbow-client-driver".into())
+            .spawn(move || {
+                let result = core.replay(&spec);
+                pool.put(core);
+                let _ = tx.send(result);
+            })
+            .expect("failed to spawn client driver");
         rx
     }
 
-    /// Submits a transaction and waits for its result. A transaction whose
+    /// Submits a one-shot transaction and waits for its result, replaying
+    /// it through an interactive conversation inline. A transaction whose
     /// home site never answers (crash, partition) is reported as orphaned
     /// after the configured client timeout — the paper's "orphan
     /// transactions" statistic.
     pub fn submit(&self, spec: TxnSpec) -> TxnResult {
-        let label = spec.label.clone();
-        let rx = self.submit_async(spec);
-        match rx.recv_timeout(self.config.client_timeout) {
-            Ok(result) => result,
-            Err(_) => {
-                let result = TxnResult {
-                    id: TxnId::new(SiteId(u32::MAX), 0),
-                    label,
-                    outcome: TxnOutcome::Orphaned,
-                    reads: BTreeMap::new(),
-                    response_time: self.config.client_timeout,
-                    restarts: 0,
-                    messages: 0,
-                };
-                self.monitor.record_result(&result);
-                result
-            }
-        }
+        let mut core = self.checkout_core();
+        let result = core.replay(&spec);
+        self.clients.put(core);
+        result
     }
 
     /// Runs a batch of transactions with at most `mpl` (multiprogramming
@@ -370,11 +363,18 @@ impl Cluster {
         collected
     }
 
-    /// Stops every component. Transactions still in flight are abandoned.
+    /// Stops every component: sites, the name server, the network.
+    /// Transactions still in flight are abandoned (their coordinator
+    /// workers drain on their own, bounded by the protocol timeouts).
+    ///
+    /// Idempotent: the first call tears everything down, later calls (and
+    /// the [`Drop`] impl, which delegates here) are no-ops — so examples
+    /// and early-return test paths can never leak site or coordinator
+    /// threads, whether they shut down explicitly or just let the cluster
+    /// fall out of scope.
     pub fn shutdown(&mut self) {
-        self.router_shutdown.store(true, Ordering::Relaxed);
-        if let Some(router) = self.router.take() {
-            let _ = router.join();
+        if self.shut_down.swap(true, Ordering::SeqCst) {
+            return;
         }
         for site in self.sites.values_mut() {
             site.shutdown();
@@ -387,34 +387,6 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
-    }
-}
-
-fn client_router(
-    mailbox: Receiver<rainbow_net::Envelope<Msg>>,
-    pending: Arc<Mutex<HashMap<u64, Sender<TxnResult>>>>,
-    monitor: Arc<ProgressMonitor>,
-    shutdown: Arc<AtomicBool>,
-) {
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        match mailbox.recv_timeout(Duration::from_millis(25)) {
-            Ok(envelope) => {
-                if let Msg::TxnDone { request, result } = envelope.payload {
-                    // Only record and forward when somebody is still waiting;
-                    // results arriving after the client gave up (orphan
-                    // timeout) were already accounted for.
-                    if let Some(tx) = pending.lock().remove(&request) {
-                        monitor.record_result(&result);
-                        let _ = tx.send(result);
-                    }
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
     }
 }
 
@@ -565,6 +537,22 @@ mod tests {
         cluster.recover_site(SiteId(2)).unwrap();
         let retry = cluster.submit(TxnSpec::new("retry", vec![Operation::write("x0", 2i64)]));
         assert!(retry.committed(), "outcome was {:?}", retry.outcome);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut cluster = quick_cluster(2);
+        let result = cluster.submit(TxnSpec::new("t", vec![Operation::read("x0")]));
+        assert!(result.committed());
+        // Explicit shutdown, then again, then the Drop impl on scope exit:
+        // every path must be a no-op after the first.
+        cluster.shutdown();
+        cluster.shutdown();
+        // Submitting against a torn-down cluster reports an orphan instead
+        // of hanging or panicking.
+        let late = cluster.submit(TxnSpec::new("late", vec![Operation::read("x0")]));
+        assert!(late.outcome.is_orphaned());
+        drop(cluster);
     }
 
     #[test]

@@ -1,28 +1,62 @@
 //! The home-site transaction manager (coordinator worker).
 //!
-//! One worker thread per transaction executes the flow of Section 2.1 of the
-//! paper:
+//! One worker thread per transaction drives the flow of Section 2.1 of the
+//! paper — but as an **op-driven state machine**: the coordinator learns the
+//! transaction one command at a time from the client's interactive handle
+//! (begin → read/write/increment → commit/abort) instead of iterating a
+//! pre-declared operation list. Each command flows through the layers:
 //!
 //! 1. the RCP builds a read or write quorum **per operation**, contacting
-//!    copy-holder sites whose CCP arbitrates each copy access;
-//! 2. once every operation has its quorum, the home site runs the ACP (2PC
-//!    by default, 3PC optionally);
+//!    copy-holder sites whose CCP arbitrates each copy access — reads run
+//!    immediately and return the observed value mid-transaction, plain
+//!    writes are buffered and their quorums run at commit;
+//! 2. at commit the buffered write quorums are installed and the home site
+//!    runs the ACP (2PC by default, 3PC optionally);
 //! 3. the result — committed, aborted (with the responsible layer) or
-//!    orphaned — is reported back to the submitting client together with
-//!    the values read, the response time and the number of messages the
+//!    orphaned — is reported back to the driving client together with the
+//!    values read, the response time and the number of messages the
 //!    transaction generated.
+//!
+//! One-shot `TxnSpec` submission is a *client-side* adapter replaying the
+//! spec through this same conversation; there is no second execution path.
 
-use crate::messages::{CopyAccessResult, Msg};
-use crate::site::SiteShared;
+use crate::messages::{CopyAccessResult, Msg, NextOp, OpReply};
+use crate::site::{janitor_horizon, SiteShared};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
 use rainbow_commit::{Coordinator, CoordinatorAction, Decision, Vote};
-use rainbow_common::txn::{AbortCause, TxnOutcome, TxnResult, TxnSpec};
-use rainbow_common::{ItemId, Operation, SiteId, Timestamp, TxnId, Value, Version};
+use rainbow_common::txn::{AbortCause, TxnOutcome, TxnResult};
+use rainbow_common::{ItemId, SiteId, Timestamp, TxnId, Value, Version};
 use rainbow_net::{Envelope, NodeId};
 use rainbow_replication::{QuorumCollector, QuorumOutcome, QuorumResponse};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// An update the conversation has staged, in client order. Install order
+/// must follow the order the client issued the updates in, even though
+/// read-modify-writes assemble their quorums immediately while plain writes
+/// defer theirs to commit.
+enum StagedWrite {
+    /// A plain write: the quorum runs at commit.
+    Deferred {
+        /// The item.
+        item: ItemId,
+        /// The value to install.
+        value: Value,
+    },
+    /// A read-modify-write whose (read-for-update) quorum already assembled
+    /// when the operation ran.
+    Assembled {
+        /// The item.
+        item: ItemId,
+        /// The computed value to install.
+        value: Value,
+        /// The quorum's responders (where the write must be installed).
+        sites: Vec<SiteId>,
+        /// The version the write installs.
+        version: Version,
+    },
+}
 
 /// Mutable execution state of one transaction at its coordinator.
 struct TxnExecution {
@@ -30,7 +64,10 @@ struct TxnExecution {
     ts: Timestamp,
     /// Values observed by read operations.
     reads: BTreeMap<ItemId, Value>,
-    /// Writes to install per participant site.
+    /// Updates staged by the conversation, in client order.
+    staged: Vec<StagedWrite>,
+    /// Writes to install per participant site (built when the staged
+    /// updates are folded at commit).
     writes_per_site: BTreeMap<SiteId, Vec<(ItemId, Value, Version)>>,
     /// Every site that granted this transaction an access (they all hold CCP
     /// resources and must see the final decision).
@@ -42,7 +79,8 @@ struct TxnExecution {
     /// not linger until the janitor.
     contacted: BTreeSet<SiteId>,
     /// Messages sent on behalf of this transaction (remote only; loopback is
-    /// free, as in the paper's message accounting).
+    /// free, as in the paper's message accounting; client conversation round
+    /// trips are excluded, like `SubmitTxn` round trips were).
     messages: u64,
 }
 
@@ -52,6 +90,7 @@ impl TxnExecution {
             txn,
             ts,
             reads: BTreeMap::new(),
+            staged: Vec::new(),
             writes_per_site: BTreeMap::new(),
             touched: BTreeSet::new(),
             contacted: BTreeSet::new(),
@@ -60,11 +99,12 @@ impl TxnExecution {
     }
 }
 
-/// Entry point of the coordinator worker thread: executes `spec` and reports
-/// the result to `client`.
-pub(crate) fn run_transaction(
+/// Entry point of the coordinator worker thread: opens the conversation for
+/// `client`, executes commands until the client commits or aborts (or the
+/// conversation idles out), and reports the final result.
+pub(crate) fn run_interactive(
     shared: Arc<SiteShared>,
-    spec: TxnSpec,
+    label: String,
     client: NodeId,
     request: u64,
 ) {
@@ -78,17 +118,13 @@ pub(crate) fn run_transaction(
     let started = Instant::now();
 
     let (reply_tx, reply_rx) = unbounded();
+    // Register before acknowledging, so the client's first command cannot
+    // outrun the routing entry.
     shared.register_reply_channel(txn, reply_tx);
+    shared.send(client, Msg::TxnBegan { request, txn });
 
     let mut exec = TxnExecution::new(txn, ts);
-    let outcome = match execute_operations(&shared, &spec, &mut exec, &reply_rx) {
-        Ok(()) => run_commit_protocol(&shared, &mut exec, &reply_rx),
-        Err(cause) => {
-            // Release whatever the transaction holds at the sites it touched.
-            abort_everywhere(&shared, &mut exec);
-            TxnOutcome::Aborted(cause)
-        }
-    };
+    let outcome = drive_conversation(&shared, &mut exec, &reply_rx);
     release_stragglers(&shared, &mut exec);
 
     shared.unregister_reply_channel(txn);
@@ -99,13 +135,9 @@ pub(crate) fn run_transaction(
 
     let result = TxnResult {
         id: txn,
-        label: spec.label.clone(),
+        label,
         outcome,
-        reads: if spec.is_read_only() || !exec.reads.is_empty() {
-            exec.reads.clone()
-        } else {
-            BTreeMap::new()
-        },
+        reads: exec.reads.clone(),
         response_time: started.elapsed(),
         restarts: 0,
         messages: exec.messages,
@@ -113,61 +145,264 @@ pub(crate) fn run_transaction(
     shared.send(client, Msg::TxnDone { request, result });
 }
 
-/// Executes every operation of the transaction through the RCP, collecting
-/// read values and the per-site write sets.
-///
-/// Two strategies exist. The default **parallel fan-out** sends the copy
-/// accesses of *all* operations up front and drains replies under one
-/// deadline, so a transaction's RCP latency is the slowest quorum instead of
-/// the sum of all quorums. The **sequential** path (protocol-stack knob
-/// `parallel_quorums = false`) assembles one quorum at a time, exactly as
-/// the paper describes the RCP loop; it is kept both as an experiment
-/// baseline and as a differential-testing oracle for the parallel path.
-fn execute_operations(
+/// The conversation loop: waits for the client's next command, executes it,
+/// and answers — until a terminal command (commit/abort), an operation
+/// failure, or the idle horizon ends the transaction.
+fn drive_conversation(
     shared: &Arc<SiteShared>,
-    spec: &TxnSpec,
     exec: &mut TxnExecution,
     replies: &Receiver<Envelope<Msg>>,
-) -> Result<(), AbortCause> {
-    if shared.stack.parallel_quorums {
-        execute_operations_parallel(shared, spec, exec, replies)
-    } else {
-        execute_operations_sequential(shared, spec, exec, replies)
+) -> TxnOutcome {
+    // How long the coordinator lets an open conversation sit idle before
+    // presuming the client gone and aborting. Deliberately the same horizon
+    // the participant janitor uses, so a vanished client frees resources
+    // everywhere on the same clock.
+    let horizon = janitor_horizon(&shared.stack);
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+            abort_everywhere(shared, exec);
+            return TxnOutcome::Aborted(AbortCause::SiteFailure { site: shared.id });
+        }
+        if last_activity.elapsed() >= horizon {
+            abort_everywhere(shared, exec);
+            return TxnOutcome::Aborted(AbortCause::ClientTimeout);
+        }
+        let envelope = match replies.recv_timeout(Duration::from_millis(50)) {
+            Ok(envelope) => envelope,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                abort_everywhere(shared, exec);
+                return TxnOutcome::Aborted(AbortCause::SiteFailure { site: shared.id });
+            }
+        };
+        let client = envelope.from;
+        let Msg::TxnOp { op, .. } = envelope.payload else {
+            // Stale quorum replies / votes from an earlier operation.
+            continue;
+        };
+        last_activity = Instant::now();
+        match op {
+            NextOp::Read { item } => {
+                match single_quorum(shared, exec, replies, &item, QuorumAccess::Read).and_then(
+                    |collector| {
+                        collector
+                            .latest_value()
+                            .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })
+                    },
+                ) {
+                    Ok((value, _)) => {
+                        exec.reads.insert(item.clone(), value.clone());
+                        shared.send(
+                            client,
+                            Msg::TxnOpReply {
+                                txn: exec.txn,
+                                reply: OpReply::Value { item, value },
+                            },
+                        );
+                    }
+                    Err(cause) => {
+                        abort_everywhere(shared, exec);
+                        return TxnOutcome::Aborted(cause);
+                    }
+                }
+            }
+            NextOp::ReadMany { items } => match read_many(shared, exec, replies, &items) {
+                Ok(values) => shared.send(
+                    client,
+                    Msg::TxnOpReply {
+                        txn: exec.txn,
+                        reply: OpReply::Values { values },
+                    },
+                ),
+                Err(cause) => {
+                    abort_everywhere(shared, exec);
+                    return TxnOutcome::Aborted(cause);
+                }
+            },
+            NextOp::BufferWrite { item, value } => {
+                exec.staged.push(StagedWrite::Deferred { item, value });
+                shared.send(
+                    client,
+                    Msg::TxnOpReply {
+                        txn: exec.txn,
+                        reply: OpReply::Buffered,
+                    },
+                );
+            }
+            NextOp::Increment { item, delta } => {
+                match interactive_increment(shared, exec, replies, &item, delta) {
+                    Ok(value) => shared.send(
+                        client,
+                        Msg::TxnOpReply {
+                            txn: exec.txn,
+                            reply: OpReply::Value { item, value },
+                        },
+                    ),
+                    Err(cause) => {
+                        abort_everywhere(shared, exec);
+                        return TxnOutcome::Aborted(cause);
+                    }
+                }
+            }
+            NextOp::Commit => {
+                return match install_staged_writes(shared, exec, replies) {
+                    Ok(()) => run_commit_protocol(shared, exec, replies),
+                    Err(cause) => {
+                        abort_everywhere(shared, exec);
+                        TxnOutcome::Aborted(cause)
+                    }
+                };
+            }
+            NextOp::Abort => {
+                abort_everywhere(shared, exec);
+                return TxnOutcome::Aborted(AbortCause::UserAbort);
+            }
+        }
     }
 }
 
-/// The strictly sequential RCP loop: one quorum per operation, each with its
-/// own deadline.
-fn execute_operations_sequential(
+/// Executes a batched multi-get: the read quorums of every item assemble
+/// under the configured fan-out strategy (parallel by default, so the
+/// batch's RCP latency is the slowest quorum instead of the sum), and the
+/// observed values come back in request order.
+fn read_many(
     shared: &Arc<SiteShared>,
-    spec: &TxnSpec,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+    items: &[ItemId],
+) -> Result<Vec<(ItemId, Value)>, AbortCause> {
+    let collectors: Vec<QuorumCollector> = if shared.stack.parallel_quorums && items.len() > 1 {
+        assemble_quorums_parallel(shared, exec, replies, items, QuorumAccess::Read)?
+    } else {
+        let mut collectors = Vec::with_capacity(items.len());
+        for item in items {
+            collectors.push(single_quorum(
+                shared,
+                exec,
+                replies,
+                item,
+                QuorumAccess::Read,
+            )?);
+        }
+        collectors
+    };
+    let mut values = Vec::with_capacity(items.len());
+    for (item, collector) in items.iter().zip(collectors) {
+        let (value, _) = collector
+            .latest_value()
+            .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
+        exec.reads.insert(item.clone(), value.clone());
+        values.push((item.clone(), value));
+    }
+    Ok(values)
+}
+
+/// Executes a read-modify-write: one read-for-update quorum (write access up
+/// front, so no shared→exclusive upgrade is needed later), the new value
+/// staged in client order, the observed value returned.
+fn interactive_increment(
+    shared: &Arc<SiteShared>,
+    exec: &mut TxnExecution,
+    replies: &Receiver<Envelope<Msg>>,
+    item: &ItemId,
+    delta: i64,
+) -> Result<Value, AbortCause> {
+    let collector = single_quorum(shared, exec, replies, item, QuorumAccess::ReadForUpdate)?;
+    let (current, _) = collector
+        .latest_value()
+        .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
+    let new_value = current.add_int(delta).ok_or(AbortCause::UserAbort)?;
+    exec.reads.insert(item.clone(), current.clone());
+    let version = new_write_version(shared, exec, &collector);
+    exec.staged.push(StagedWrite::Assembled {
+        item: item.clone(),
+        value: new_value,
+        sites: collector.responders(),
+        version,
+    });
+    Ok(current)
+}
+
+/// Runs the write quorums of every deferred write (fan-out strategy below)
+/// and folds the staged updates — in client order — into the per-site write
+/// sets the ACP will distribute.
+///
+/// Two fan-out strategies exist, controlled by the protocol-stack knob
+/// `parallel_quorums`. The default **parallel fan-out** sends the copy
+/// accesses of *all* deferred writes up front and drains replies under one
+/// deadline, so the commit's RCP latency is the slowest quorum instead of
+/// the sum of all quorums. The **sequential** path assembles one quorum at
+/// a time, exactly as the paper describes the RCP loop; it is kept both as
+/// an experiment baseline and as a differential-testing oracle.
+fn install_staged_writes(
+    shared: &Arc<SiteShared>,
     exec: &mut TxnExecution,
     replies: &Receiver<Envelope<Msg>>,
 ) -> Result<(), AbortCause> {
-    for op in &spec.operations {
-        match op {
-            Operation::Read { item } => {
-                let (value, _) = read_quorum(shared, exec, replies, item)?;
-                exec.reads.insert(item.clone(), value);
+    let deferred: Vec<ItemId> = exec
+        .staged
+        .iter()
+        .filter_map(|w| match w {
+            StagedWrite::Deferred { item, .. } => Some(item.clone()),
+            StagedWrite::Assembled { .. } => None,
+        })
+        .collect();
+
+    let collectors: Vec<QuorumCollector> = if deferred.is_empty() {
+        Vec::new()
+    } else if shared.stack.parallel_quorums && deferred.len() > 1 {
+        assemble_quorums_parallel(shared, exec, replies, &deferred, QuorumAccess::Write)?
+    } else {
+        let mut collectors = Vec::with_capacity(deferred.len());
+        for item in &deferred {
+            collectors.push(single_quorum(
+                shared,
+                exec,
+                replies,
+                item,
+                QuorumAccess::Write,
+            )?);
+        }
+        collectors
+    };
+
+    let mut next_collector = collectors.into_iter();
+    for staged in std::mem::take(&mut exec.staged) {
+        match staged {
+            StagedWrite::Deferred { item, value } => {
+                let collector = next_collector
+                    .next()
+                    .expect("one collector per deferred write");
+                let version = new_write_version(shared, exec, &collector);
+                for site in collector.responders() {
+                    exec.writes_per_site.entry(site).or_default().push((
+                        item.clone(),
+                        value.clone(),
+                        version,
+                    ));
+                }
             }
-            Operation::Write { item, value } => {
-                write_quorum(shared, exec, replies, item, value.clone())?;
-            }
-            Operation::Increment { item, delta } => {
-                // A read-modify-write builds a single *write* quorum whose
-                // copy accesses take write access up front and return the
-                // current value (read-for-update), avoiding shared→exclusive
-                // upgrades and a second quorum round.
-                let collector =
-                    run_quorum(shared, exec, replies, item, QuorumAccess::ReadForUpdate)?;
-                apply_increment(shared, exec, item, *delta, &collector)?;
+            StagedWrite::Assembled {
+                item,
+                value,
+                sites,
+                version,
+            } => {
+                for site in sites {
+                    exec.writes_per_site.entry(site).or_default().push((
+                        item.clone(),
+                        value.clone(),
+                        version,
+                    ));
+                }
             }
         }
     }
     Ok(())
 }
 
-/// One operation's quorum being assembled during parallel fan-out.
+/// One quorum being assembled during parallel fan-out.
 struct QuorumRound {
     item: ItemId,
     access: QuorumAccess,
@@ -199,22 +434,20 @@ impl QuorumRound {
     }
 }
 
-/// Parallel fan-out: send the copy accesses of every operation first, then
-/// drain replies for all quorums under a single deadline.
-fn execute_operations_parallel(
+/// Parallel fan-out over a batch of same-kind quorums (a `ReadMany` batch
+/// or the deferred writes at commit): send the copy accesses of every
+/// quorum first, then drain replies for all of them under a single
+/// deadline. Returns the assembled collectors in input order.
+fn assemble_quorums_parallel(
     shared: &Arc<SiteShared>,
-    spec: &TxnSpec,
     exec: &mut TxnExecution,
     replies: &Receiver<Envelope<Msg>>,
-) -> Result<(), AbortCause> {
+    items: &[ItemId],
+    access: QuorumAccess,
+) -> Result<Vec<QuorumCollector>, AbortCause> {
     // Phase 1: plan and send everything.
-    let mut rounds: Vec<QuorumRound> = Vec::with_capacity(spec.operations.len());
-    for op in &spec.operations {
-        let (item, access) = match op {
-            Operation::Read { item } => (item, QuorumAccess::Read),
-            Operation::Write { item, .. } => (item, QuorumAccess::Write),
-            Operation::Increment { item, .. } => (item, QuorumAccess::ReadForUpdate),
-        };
+    let mut rounds: Vec<QuorumRound> = Vec::with_capacity(items.len());
+    for item in items {
         let collector = start_quorum(shared, exec, item, access)?;
         // A plan that is unsatisfiable from the start (e.g. a tree-quorum
         // write while the tree root is down plans zero targets) must abort
@@ -263,13 +496,13 @@ fn execute_operations_parallel(
             ..
         } = envelope.payload
         else {
-            // Late votes/acks from an earlier transaction attempt: ignore.
+            // Late votes/acks from an earlier operation: ignore.
             continue;
         };
         let Some(site) = from.as_site() else { continue };
         // Route the reply to the first still-pending round it can serve.
-        // Duplicate (item, access) operations each sent their own requests,
-        // so reply counts line up even when keys collide.
+        // Duplicate items each sent their own requests, so reply counts
+        // line up even when keys collide.
         let Some(round) = rounds
             .iter_mut()
             .find(|r| r.matches(&reply_item, prewrite, for_update, site))
@@ -315,62 +548,13 @@ fn execute_operations_parallel(
         }
     }
 
-    // Phase 3: every quorum assembled — fold results back in operation
-    // order, so reads and write sets come out exactly as the sequential
-    // path produces them.
-    for (op, round) in spec.operations.iter().zip(rounds.iter()) {
+    // Every quorum assembled: all responders hold resources on our behalf.
+    for round in &rounds {
         for site in round.collector.responders() {
             exec.touched.insert(site);
         }
-        match op {
-            Operation::Read { item } => {
-                let (value, _) = round
-                    .collector
-                    .latest_value()
-                    .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
-                exec.reads.insert(item.clone(), value);
-            }
-            Operation::Write { item, value } => {
-                let new_version = new_write_version(shared, exec, &round.collector);
-                for site in round.collector.responders() {
-                    exec.writes_per_site.entry(site).or_default().push((
-                        item.clone(),
-                        value.clone(),
-                        new_version,
-                    ));
-                }
-            }
-            Operation::Increment { item, delta } => {
-                apply_increment(shared, exec, item, *delta, &round.collector)?;
-            }
-        }
     }
-    Ok(())
-}
-
-/// Folds an assembled read-for-update quorum into an increment operation's
-/// read value and write set.
-fn apply_increment(
-    shared: &Arc<SiteShared>,
-    exec: &mut TxnExecution,
-    item: &ItemId,
-    delta: i64,
-    collector: &QuorumCollector,
-) -> Result<(), AbortCause> {
-    let (current, _) = collector
-        .latest_value()
-        .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
-    let new_value = current.add_int(delta).ok_or(AbortCause::UserAbort)?;
-    exec.reads.insert(item.clone(), current);
-    let new_version = new_write_version(shared, exec, collector);
-    for site in collector.responders() {
-        exec.writes_per_site.entry(site).or_default().push((
-            item.clone(),
-            new_value.clone(),
-            new_version,
-        ));
-    }
-    Ok(())
+    Ok(rounds.into_iter().map(|r| r.collector).collect())
 }
 
 /// The replica version number a write must install.
@@ -408,40 +592,6 @@ enum QuorumAccess {
     /// Write quorum whose accesses also return the current value
     /// (read-modify-write operations).
     ReadForUpdate,
-}
-
-/// Builds a read quorum for `item` and returns the highest-versioned value.
-fn read_quorum(
-    shared: &Arc<SiteShared>,
-    exec: &mut TxnExecution,
-    replies: &Receiver<Envelope<Msg>>,
-    item: &ItemId,
-) -> Result<(Value, Version), AbortCause> {
-    let collector = run_quorum(shared, exec, replies, item, QuorumAccess::Read)?;
-    collector
-        .latest_value()
-        .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })
-}
-
-/// Builds a write quorum for `item` and records the write for every site in
-/// the quorum.
-fn write_quorum(
-    shared: &Arc<SiteShared>,
-    exec: &mut TxnExecution,
-    replies: &Receiver<Envelope<Msg>>,
-    item: &ItemId,
-    value: Value,
-) -> Result<(), AbortCause> {
-    let collector = run_quorum(shared, exec, replies, item, QuorumAccess::Write)?;
-    let new_version = new_write_version(shared, exec, &collector);
-    for site in collector.responders() {
-        exec.writes_per_site.entry(site).or_default().push((
-            item.clone(),
-            value.clone(),
-            new_version,
-        ));
-    }
-    Ok(())
 }
 
 /// Plans one quorum and sends its copy-access requests to every target
@@ -518,7 +668,7 @@ fn start_quorum(
 
 /// Sends the copy-access requests for one quorum and collects responses
 /// until the quorum is assembled, impossible, or the quorum timeout expires.
-fn run_quorum(
+fn single_quorum(
     shared: &Arc<SiteShared>,
     exec: &mut TxnExecution,
     replies: &Receiver<Envelope<Msg>>,

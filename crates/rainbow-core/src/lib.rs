@@ -21,11 +21,17 @@
 //!   server + sites) from configuration and offers the client API used by
 //!   the workload generator, the Session layer, the examples and the
 //!   benches;
+//! * [`client`] — the interactive transaction API: `Cluster::client()`
+//!   hands out [`client::Client`] handles whose `begin → read/write →
+//!   commit` conversations drive the coordinator one operation at a time,
+//!   with typed layer-attributed errors, abort-on-drop safety and a retry
+//!   combinator. One-shot `TxnSpec` submission is an adapter over this;
 //! * [`metrics`] — per-site metrics and the global progress monitor.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod client;
 pub mod cluster;
 pub mod coordinator;
 pub mod messages;
@@ -33,8 +39,9 @@ pub mod metrics;
 pub mod name_server;
 pub mod site;
 
+pub use client::{Client, RetryPolicy, Txn};
 pub use cluster::{Cluster, ClusterConfig};
-pub use messages::Msg;
+pub use messages::{Msg, NextOp, OpReply};
 pub use metrics::{ProgressMonitor, SiteMetrics};
 pub use name_server::NameServer;
 pub use site::SiteHandle;

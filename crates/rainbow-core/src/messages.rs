@@ -8,7 +8,7 @@
 
 use rainbow_commit::{Decision, Vote};
 use rainbow_common::config::{DatabaseSchema, DistributionSchema};
-use rainbow_common::txn::{AbortCause, TxnResult, TxnSpec};
+use rainbow_common::txn::{AbortCause, TxnResult};
 use rainbow_common::{ItemId, Timestamp, TxnId, Value, Version};
 use rainbow_net::NetMessage;
 
@@ -31,23 +31,118 @@ pub enum CopyAccessResult {
     NoSuchCopy,
 }
 
+/// One step of an interactive transaction conversation, sent by a client
+/// handle (`Txn`) to the coordinator worker driving the transaction at its
+/// home site. The coordinator is an op-driven state machine: it learns the
+/// transaction one command at a time instead of receiving a pre-declared
+/// operation list.
+#[derive(Debug, Clone)]
+pub enum NextOp {
+    /// Run the read quorum for `item` *now* and return the observed value
+    /// to the client mid-transaction.
+    Read {
+        /// The item to read.
+        item: ItemId,
+    },
+    /// Run the read quorums of several items as one batch (parallel fan-out
+    /// when enabled) and return every observed value. The multi-get of the
+    /// interactive API; also how the spec adapter replays consecutive
+    /// reads without giving up the fan-out optimization.
+    ReadMany {
+        /// The items to read, in reply order.
+        items: Vec<ItemId>,
+    },
+    /// Buffer a write. Its write quorum runs when the transaction commits;
+    /// the value is installed through the ACP as always.
+    BufferWrite {
+        /// The item to write.
+        item: ItemId,
+        /// The value to install at commit.
+        value: Value,
+    },
+    /// Read-modify-write: assemble a write quorum whose accesses return the
+    /// current value (read-for-update), buffer `current + delta`, and return
+    /// the observed pre-increment value.
+    Increment {
+        /// The item to increment.
+        item: ItemId,
+        /// The (possibly negative) delta.
+        delta: i64,
+    },
+    /// Install the buffered writes through their write quorums, then run
+    /// the atomic commit protocol. Ends the conversation.
+    Commit,
+    /// Abort: release every CCP resource the conversation acquired. Ends
+    /// the conversation.
+    Abort,
+}
+
+/// Reply to a [`NextOp`] that did *not* end the conversation (terminal
+/// commands and op failures are answered with [`Msg::TxnDone`] instead).
+#[derive(Debug, Clone)]
+pub enum OpReply {
+    /// Value observed by a read or read-modify-write operation.
+    Value {
+        /// The item that was read.
+        item: ItemId,
+        /// Its observed (highest-versioned in-quorum) value.
+        value: Value,
+    },
+    /// Values observed by a [`NextOp::ReadMany`] batch, in request order.
+    Values {
+        /// The observed `(item, value)` pairs.
+        values: Vec<(ItemId, Value)>,
+    },
+    /// The write was buffered; its quorum runs at commit.
+    Buffered,
+    /// No coordinator is driving this transaction any more (the
+    /// conversation idled past the coordinator's horizon, or the home site
+    /// lost its volatile state in a crash).
+    Gone,
+}
+
 /// The Rainbow protocol messages.
 #[derive(Debug, Clone)]
 pub enum Msg {
     // ------------------------------------------------------------------
-    // Client ↔ site (the WLGlet / PMlet paths of the middle tier)
+    // Client ↔ site: the interactive transaction conversation (the WLGlet /
+    // manual-panel paths of the middle tier). One-shot `TxnSpec` submission
+    // is a client-side adapter replaying the spec through this same
+    // conversation, so there is exactly one execution path.
     // ------------------------------------------------------------------
-    /// A client submits a transaction to its home site.
-    SubmitTxn {
-        /// Client-chosen request id, echoed back in [`Msg::TxnDone`].
+    /// A client opens an interactive transaction at its home site.
+    TxnBegin {
+        /// Client-chosen request id, echoed back in [`Msg::TxnBegan`] and
+        /// [`Msg::TxnDone`].
         request: u64,
-        /// The transaction.
-        spec: TxnSpec,
+        /// Human-readable label used in reports.
+        label: String,
     },
-    /// A site reports the final result of a submitted transaction back to
-    /// the client that submitted it.
+    /// The home site acknowledges an open transaction and names it.
+    TxnBegan {
+        /// The client request id from [`Msg::TxnBegin`].
+        request: u64,
+        /// The transaction id the home site assigned.
+        txn: TxnId,
+    },
+    /// The client's next command for an open transaction.
+    TxnOp {
+        /// The transaction (from [`Msg::TxnBegan`]).
+        txn: TxnId,
+        /// The command.
+        op: NextOp,
+    },
+    /// The coordinator's answer to a non-terminal [`Msg::TxnOp`].
+    TxnOpReply {
+        /// The transaction.
+        txn: TxnId,
+        /// The outcome of the command.
+        reply: OpReply,
+    },
+    /// A site reports the final result of a transaction back to the client
+    /// that drove it (after commit, abort, or a failed operation).
     TxnDone {
-        /// The client request id from [`Msg::SubmitTxn`].
+        /// The client request id from [`Msg::TxnBegin`].
         request: u64,
         /// The result.
         result: TxnResult,
@@ -173,7 +268,10 @@ impl Msg {
     /// The transaction a message refers to, for response routing.
     pub fn txn(&self) -> Option<TxnId> {
         match self {
-            Msg::CopyRead { txn, .. }
+            Msg::TxnBegan { txn, .. }
+            | Msg::TxnOp { txn, .. }
+            | Msg::TxnOpReply { txn, .. }
+            | Msg::CopyRead { txn, .. }
             | Msg::CopyPrewrite { txn, .. }
             | Msg::CopyReply { txn, .. }
             | Msg::AcpPrepare { txn, .. }
@@ -206,7 +304,10 @@ impl Msg {
 impl NetMessage for Msg {
     fn kind(&self) -> &'static str {
         match self {
-            Msg::SubmitTxn { .. } => "SUBMIT_TXN",
+            Msg::TxnBegin { .. } => "TXN_BEGIN",
+            Msg::TxnBegan { .. } => "TXN_BEGAN",
+            Msg::TxnOp { .. } => "TXN_OP",
+            Msg::TxnOpReply { .. } => "TXN_OP_REPLY",
             Msg::TxnDone { .. } => "TXN_DONE",
             Msg::NsGetSchema => "NS_GET_SCHEMA",
             Msg::NsSchema { .. } => "NS_SCHEMA",
@@ -228,7 +329,33 @@ impl NetMessage for Msg {
         // A rough wire-size model: fixed header plus payload-dependent parts.
         const HEADER: usize = 48;
         match self {
-            Msg::SubmitTxn { spec, .. } => HEADER + 64 + spec.operations.len() * 32,
+            Msg::TxnBegin { label, .. } => HEADER + label.len(),
+            Msg::TxnOp { op, .. } => {
+                HEADER
+                    + match op {
+                        NextOp::Read { item } | NextOp::Increment { item, .. } => {
+                            item.name().len() + 8
+                        }
+                        NextOp::ReadMany { items } => {
+                            items.iter().map(|item| item.name().len() + 8).sum()
+                        }
+                        NextOp::BufferWrite { item, value } => {
+                            item.name().len() + value.payload_size()
+                        }
+                        NextOp::Commit | NextOp::Abort => 0,
+                    }
+            }
+            Msg::TxnOpReply { reply, .. } => {
+                HEADER
+                    + match reply {
+                        OpReply::Value { item, value } => item.name().len() + value.payload_size(),
+                        OpReply::Values { values } => values
+                            .iter()
+                            .map(|(item, value)| item.name().len() + value.payload_size())
+                            .sum(),
+                        OpReply::Buffered | OpReply::Gone => 8,
+                    }
+            }
             Msg::TxnDone { result, .. } => HEADER + 64 + result.reads.len() * 24,
             Msg::NsGetSchema => HEADER,
             Msg::NsSchema { database, .. } => HEADER + database.items.len() * 48,
@@ -278,11 +405,27 @@ mod tests {
             Some(txn())
         );
         assert_eq!(Msg::AcpAck { txn: txn() }.txn(), Some(txn()));
+        assert_eq!(
+            Msg::TxnOp {
+                txn: txn(),
+                op: NextOp::Commit,
+            }
+            .txn(),
+            Some(txn())
+        );
+        assert_eq!(
+            Msg::TxnOpReply {
+                txn: txn(),
+                reply: OpReply::Buffered,
+            }
+            .txn(),
+            Some(txn())
+        );
         assert_eq!(Msg::NsGetSchema.txn(), None);
         assert_eq!(
-            Msg::SubmitTxn {
+            Msg::TxnBegin {
                 request: 1,
-                spec: TxnSpec::new("t", vec![]),
+                label: "t".into(),
             }
             .txn(),
             None
@@ -319,9 +462,48 @@ mod tests {
     }
 
     #[test]
+    fn conversation_ops_are_not_coordinator_responses() {
+        // Client commands are routed to the worker explicitly by the site
+        // dispatcher, not through the coordinator-response fast path, and
+        // client-bound replies are never routed by a site at all.
+        assert!(!Msg::TxnOp {
+            txn: txn(),
+            op: NextOp::Read {
+                item: ItemId::new("x"),
+            },
+        }
+        .is_coordinator_response());
+        assert!(!Msg::TxnOpReply {
+            txn: txn(),
+            reply: OpReply::Gone,
+        }
+        .is_coordinator_response());
+        assert!(!Msg::TxnBegan {
+            request: 1,
+            txn: txn(),
+        }
+        .is_coordinator_response());
+    }
+
+    #[test]
     fn kinds_are_distinct_for_the_traffic_experiments() {
         let kinds = [
             Msg::NsGetSchema.kind(),
+            Msg::TxnBegin {
+                request: 1,
+                label: "t".into(),
+            }
+            .kind(),
+            Msg::TxnOp {
+                txn: txn(),
+                op: NextOp::Abort,
+            }
+            .kind(),
+            Msg::TxnOpReply {
+                txn: txn(),
+                reply: OpReply::Buffered,
+            }
+            .kind(),
             Msg::CopyRead {
                 txn: txn(),
                 ts: Timestamp::ZERO,

@@ -14,8 +14,8 @@
 //!   whose coordinator disappeared and the recovery path that resolves
 //!   in-doubt transactions after a crash.
 
-use crate::coordinator::run_transaction;
-use crate::messages::{CopyAccessResult, Msg};
+use crate::coordinator::run_interactive;
+use crate::messages::{CopyAccessResult, Msg, OpReply};
 use crate::metrics::SiteMetrics;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -305,8 +305,9 @@ impl Drop for SiteHandle {
 }
 
 /// How long a participant entry may sit idle before the janitor aborts it
-/// (its coordinator is presumed dead).
-fn janitor_horizon(stack: &ProtocolStack) -> Duration {
+/// (its coordinator is presumed dead). The coordinator's conversation loop
+/// uses the same horizon for clients that stop driving an open transaction.
+pub(crate) fn janitor_horizon(stack: &ProtocolStack) -> Duration {
     (stack.commit_timeout + stack.quorum_timeout + stack.lock_wait_timeout) * 3
 }
 
@@ -342,14 +343,39 @@ fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
     }
 
     match envelope.payload.clone() {
-        Msg::SubmitTxn { request, spec } => {
+        Msg::TxnBegin { request, label } => {
             SiteMetrics::bump(&shared.metrics.home_transactions);
             let worker_shared = Arc::clone(shared);
             let client = envelope.from;
-            // "The site dedicates one thread to process it."
+            // "The site dedicates one thread to process it." The thread now
+            // drives an interactive conversation instead of a fixed op list.
             let _ = std::thread::Builder::new()
                 .name(format!("rainbow-txn-{}", shared.id.0))
-                .spawn(move || run_transaction(worker_shared, spec, client, request));
+                .spawn(move || run_interactive(worker_shared, label, client, request));
+        }
+        Msg::TxnOp { txn, .. } => {
+            // Route the client command to the coordinator worker driving the
+            // conversation. When no worker is registered any more (the
+            // conversation idled out and was aborted, or the site crashed
+            // and recovered), tell the client instead of leaving it to its
+            // timeout.
+            let client = envelope.from;
+            let routed = {
+                let pending = shared.pending_replies.lock();
+                match pending.get(&txn) {
+                    Some(tx) => tx.send(envelope).is_ok(),
+                    None => false,
+                }
+            };
+            if !routed {
+                shared.send(
+                    client,
+                    Msg::TxnOpReply {
+                        txn,
+                        reply: OpReply::Gone,
+                    },
+                );
+            }
         }
         Msg::CopyRead {
             txn,
@@ -412,7 +438,9 @@ fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
         }
         // Messages a site never receives (or that only matter to clients /
         // the name server) are ignored.
-        Msg::TxnDone { .. }
+        Msg::TxnBegan { .. }
+        | Msg::TxnOpReply { .. }
+        | Msg::TxnDone { .. }
         | Msg::NsGetSchema
         | Msg::CopyReply { .. }
         | Msg::AcpVote { .. }

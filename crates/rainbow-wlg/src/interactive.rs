@@ -1,0 +1,251 @@
+//! Conversational (interactive) workload profiles.
+//!
+//! The spec profiles in [`crate::profiles`] pre-declare every operation, but
+//! the scenarios Rainbow was built to teach are *conversational*: read
+//! something, decide, then write — a shape no pre-declared `TxnSpec` can
+//! express. This module generates such conversations as data
+//! ([`InteractiveScript`]s); the Session layer interprets each script
+//! against a live interactive `Txn` handle, making the mid-transaction
+//! decisions with the values the read quorums actually observed.
+//!
+//! Generation stays pure and seeded (like every other generator in this
+//! crate), so interactive experiments are exactly as repeatable as spec
+//! ones.
+
+use rainbow_common::rng::{derive_seed, seeded_rng};
+use rainbow_common::ItemId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Named conversational workload presets, generated alongside the existing
+/// spec profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InteractiveProfile {
+    /// Bank conversations: read a source balance and transfer only when the
+    /// funds suffice (read-balance-then-conditionally-transfer). Exercises
+    /// read→decide→read-modify-write chains and retry-on-conflict.
+    ConditionalTransfer,
+    /// Audit conversations: read a handful of items and flag an anomaly
+    /// item only when their sum dips below a threshold. Mostly-read
+    /// conversations whose single write depends on every value observed.
+    AuditAndFlag,
+    /// Inventory conversations: read a stock level and replenish it only
+    /// when it fell below the low-water mark. Produces the classic
+    /// shared→exclusive upgrade pattern on one item.
+    Replenish,
+}
+
+impl InteractiveProfile {
+    /// Every interactive profile, for sweeps.
+    pub fn all() -> [InteractiveProfile; 3] {
+        [
+            InteractiveProfile::ConditionalTransfer,
+            InteractiveProfile::AuditAndFlag,
+            InteractiveProfile::Replenish,
+        ]
+    }
+
+    /// Short name used in reports and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InteractiveProfile::ConditionalTransfer => "conditional-transfer",
+            InteractiveProfile::AuditAndFlag => "audit-and-flag",
+            InteractiveProfile::Replenish => "replenish",
+        }
+    }
+
+    /// Generates `transactions` conversations over the given item universe,
+    /// deterministically from `seed`.
+    pub fn generate(
+        &self,
+        items: &[ItemId],
+        transactions: usize,
+        seed: u64,
+    ) -> Vec<InteractiveSpec> {
+        assert!(!items.is_empty(), "interactive workloads need items");
+        let mut rng = seeded_rng(derive_seed(seed, self.name()));
+        (0..transactions)
+            .map(|i| {
+                let label = format!("{}-{i}", self.name());
+                let script = match self {
+                    InteractiveProfile::ConditionalTransfer => {
+                        let source = items[rng.gen_range(0..items.len())].clone();
+                        // A distinct target whenever the universe allows it.
+                        let target = if items.len() == 1 {
+                            source.clone()
+                        } else {
+                            loop {
+                                let candidate = items[rng.gen_range(0..items.len())].clone();
+                                if candidate != source {
+                                    break candidate;
+                                }
+                            }
+                        };
+                        InteractiveScript::ConditionalTransfer {
+                            source,
+                            target,
+                            amount: rng.gen_range(1..=40),
+                        }
+                    }
+                    InteractiveProfile::AuditAndFlag => {
+                        let span = if items.len() < 2 {
+                            1
+                        } else {
+                            rng.gen_range(2..=items.len().min(5))
+                        };
+                        let first = rng.gen_range(0..items.len());
+                        let inputs: Vec<ItemId> = (0..span)
+                            .map(|k| items[(first + k) % items.len()].clone())
+                            .collect();
+                        let flag = items[rng.gen_range(0..items.len())].clone();
+                        InteractiveScript::AuditAndFlag {
+                            inputs,
+                            flag,
+                            threshold: rng.gen_range(50..300),
+                        }
+                    }
+                    InteractiveProfile::Replenish => InteractiveScript::Replenish {
+                        item: items[rng.gen_range(0..items.len())].clone(),
+                        low_water: rng.gen_range(50..150),
+                        refill: rng.gen_range(10..60),
+                    },
+                };
+                InteractiveSpec { label, script }
+            })
+            .collect()
+    }
+}
+
+/// One generated conversation: a label plus the decision script the Session
+/// layer interprets against a live `Txn` handle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveSpec {
+    /// Human-readable label used in reports.
+    pub label: String,
+    /// The conversation's decision script.
+    pub script: InteractiveScript,
+}
+
+/// A conversational transaction described as data: every variant reads
+/// first, then decides its writes from the values observed mid-transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InteractiveScript {
+    /// Read `source`; when its balance covers `amount`, move the amount to
+    /// `target` (two read-modify-writes), otherwise just audit.
+    ConditionalTransfer {
+        /// The account read (and debited when covered).
+        source: ItemId,
+        /// The credited account.
+        target: ItemId,
+        /// The amount to move.
+        amount: i64,
+    },
+    /// Read every input; when their sum dips below `threshold`, record the
+    /// observed sum in `flag`.
+    AuditAndFlag {
+        /// Items to read.
+        inputs: Vec<ItemId>,
+        /// Item written when the anomaly triggers.
+        flag: ItemId,
+        /// The anomaly threshold.
+        threshold: i64,
+    },
+    /// Read `item`; when it fell below `low_water`, add `refill`.
+    Replenish {
+        /// The stock item.
+        item: ItemId,
+        /// The low-water mark.
+        low_water: i64,
+        /// Units added on replenishment.
+        refill: i64,
+    },
+}
+
+impl InteractiveScript {
+    /// Items this conversation may read.
+    pub fn read_set(&self) -> Vec<ItemId> {
+        match self {
+            InteractiveScript::ConditionalTransfer { source, .. } => vec![source.clone()],
+            InteractiveScript::AuditAndFlag { inputs, .. } => inputs.clone(),
+            InteractiveScript::Replenish { item, .. } => vec![item.clone()],
+        }
+    }
+
+    /// Items this conversation may write (depending on what it observes).
+    pub fn potential_write_set(&self) -> Vec<ItemId> {
+        match self {
+            InteractiveScript::ConditionalTransfer { source, target, .. } => {
+                vec![source.clone(), target.clone()]
+            }
+            InteractiveScript::AuditAndFlag { flag, .. } => vec![flag.clone()],
+            InteractiveScript::Replenish { item, .. } => vec![item.clone()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<ItemId> {
+        (0..n).map(|i| ItemId::new(format!("x{i}"))).collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for profile in InteractiveProfile::all() {
+            let a = profile.generate(&items(8), 12, 42);
+            let b = profile.generate(&items(8), 12, 42);
+            assert_eq!(a, b, "same seed must reproduce {}", profile.name());
+            let c = profile.generate(&items(8), 12, 43);
+            assert_ne!(a, c, "different seeds should differ for {}", profile.name());
+            assert_eq!(a.len(), 12);
+        }
+    }
+
+    #[test]
+    fn transfers_use_distinct_accounts_when_possible() {
+        let specs = InteractiveProfile::ConditionalTransfer.generate(&items(6), 50, 7);
+        for spec in &specs {
+            let InteractiveScript::ConditionalTransfer {
+                source,
+                target,
+                amount,
+            } = &spec.script
+            else {
+                panic!("wrong script kind");
+            };
+            assert_ne!(source, target);
+            assert!(*amount > 0);
+        }
+    }
+
+    #[test]
+    fn scripts_expose_their_footprints() {
+        let script = InteractiveScript::ConditionalTransfer {
+            source: ItemId::new("a"),
+            target: ItemId::new("b"),
+            amount: 10,
+        };
+        assert_eq!(script.read_set(), vec![ItemId::new("a")]);
+        assert_eq!(
+            script.potential_write_set(),
+            vec![ItemId::new("a"), ItemId::new("b")]
+        );
+        let audit = InteractiveScript::AuditAndFlag {
+            inputs: vec![ItemId::new("a"), ItemId::new("b")],
+            flag: ItemId::new("f"),
+            threshold: 10,
+        };
+        assert_eq!(audit.read_set().len(), 2);
+        assert_eq!(audit.potential_write_set(), vec![ItemId::new("f")]);
+    }
+
+    #[test]
+    fn single_item_universe_degrades_gracefully() {
+        for profile in InteractiveProfile::all() {
+            let specs = profile.generate(&items(1), 5, 3);
+            assert_eq!(specs.len(), 5, "{}", profile.name());
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`profiles`] — named parameter presets used by the examples and the
 //!   benches (read-heavy, write-heavy, debit/credit transfers, hot-spot
 //!   contention);
+//! * [`interactive`] — *conversational* workload presets (read, decide,
+//!   then write) generated as decision scripts the Session layer interprets
+//!   against live interactive `Txn` handles;
 //! * [`arrival`] — arrival processes for open (Poisson) and closed (fixed
 //!   multiprogramming level) workloads.
 
@@ -25,10 +28,12 @@
 
 pub mod arrival;
 pub mod generator;
+pub mod interactive;
 pub mod manual;
 pub mod profiles;
 
 pub use arrival::ArrivalProcess;
 pub use generator::{HomePolicy, WorkloadGenerator, WorkloadParams};
+pub use interactive::{InteractiveProfile, InteractiveScript, InteractiveSpec};
 pub use manual::ManualWorkloadBuilder;
 pub use profiles::WorkloadProfile;

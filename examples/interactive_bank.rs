@@ -1,0 +1,108 @@
+//! Interactive bank: conversational transactions through the `Client`/`Txn`
+//! handles — read a balance, *decide*, then transfer — with retry-on-abort
+//! while a site is crashed.
+//!
+//! This is the workload shape no one-shot `TxnSpec` can express: the write
+//! set depends on values observed mid-transaction. The retry combinator
+//! (`Client::run`) replays aborted or orphaned conversations with seeded
+//! backoff, rotating the home site — so the bank keeps serving while a
+//! Rainbow site is down.
+//!
+//! ```text
+//! cargo run --example interactive_bank
+//! ```
+
+use rainbow_common::protocol::ProtocolStack;
+use rainbow_common::txn::{TxnError, TxnSpec};
+use rainbow_common::{Operation, SiteId};
+use rainbow_control::Session;
+use std::time::Duration;
+
+fn main() {
+    // A 3-site bank: every account fully replicated, majority quorums.
+    let mut session = Session::new();
+    session.configure_sites(3).expect("configure sites");
+    session
+        .configure_protocols(
+            ProtocolStack::rainbow_default()
+                .with_lock_wait_timeout(Duration::from_millis(200))
+                .with_quorum_timeout(Duration::from_millis(500))
+                .with_commit_timeout(Duration::from_millis(500)),
+        )
+        .expect("configure protocols");
+    for account in ["alice", "bob", "carol"] {
+        session
+            .declare_item(account, 100i64, &[SiteId(0), SiteId(1), SiteId(2)])
+            .expect("declare account");
+    }
+    session.set_client_timeout(Duration::from_millis(800));
+    session.start().expect("start Rainbow");
+    println!("bank open: 3 sites, accounts alice/bob/carol at 100 each");
+
+    // Crash one site mid-business: conversations homed there will orphan
+    // and must be retried elsewhere.
+    session.crash_site(SiteId(2)).expect("crash site");
+    println!("site2 crashed — conversations will route around it\n");
+
+    let mut client = session.client().expect("client");
+    for (from, to, amount) in [
+        ("alice", "bob", 60i64),
+        ("alice", "carol", 60),
+        ("bob", "carol", 120),
+    ] {
+        // The conversation: read the source balance, transfer only when the
+        // funds cover the amount. `Client::run` retries retryable failures
+        // (orphaned begin at the crashed site, lock conflicts, quorum
+        // timeouts) with a fresh transaction and seeded backoff.
+        let conversation = client.run(format!("{from}->{to}"), |txn| {
+            let balance = txn.read(from)?.as_int().unwrap_or(0);
+            if balance < amount {
+                println!("  {from}: insufficient funds ({balance} < {amount}), aborting");
+                return Err(TxnError::Aborted(
+                    rainbow_common::txn::AbortCause::UserAbort,
+                ));
+            }
+            txn.increment(from, -amount)?;
+            txn.increment(to, amount)?;
+            Ok(balance)
+        });
+        match conversation {
+            Ok((balance_before, receipt)) => println!(
+                "  {from}->{to}: moved {amount} (balance was {balance_before}), \
+                 txn {} committed after {} restart(s), {} messages",
+                receipt.id, receipt.restarts, receipt.messages
+            ),
+            Err(error) => println!(
+                "  {from}->{to}: gave up — {error} (layer {})",
+                error.layer()
+            ),
+        }
+    }
+
+    // Recover the site and audit: money is conserved.
+    session.recover_site(SiteId(2)).expect("recover site");
+    let audit = session
+        .submit(TxnSpec::new(
+            "audit",
+            vec![
+                Operation::read("alice"),
+                Operation::read("bob"),
+                Operation::read("carol"),
+            ],
+        ))
+        .expect("audit");
+    let total: i64 = audit.reads.values().filter_map(|v| v.as_int()).sum();
+    println!("\naudit after recovery: {:?}", audit.reads);
+    assert_eq!(total, 300, "money must be conserved");
+    println!("total = {total} — conserved across crash, retries and recovery");
+
+    let stats = session.statistics().expect("stats");
+    println!(
+        "\nsession: {} submitted, {} committed, {} aborted, {} orphaned (commit rate {:.2})",
+        stats.submitted,
+        stats.committed,
+        stats.aborted,
+        stats.orphans,
+        stats.commit_rate()
+    );
+}
