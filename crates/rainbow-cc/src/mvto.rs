@@ -3,8 +3,10 @@
 //! Section 5 of the paper suggests "basic timestamp ordering by
 //! multi-versioning TSO" as a term-project extension; this module implements
 //! it. Each item keeps a chain of committed versions tagged with the writing
-//! transaction's timestamp; reads never block and never abort — they are
-//! served by the youngest version older than the reader. Writes are rejected
+//! transaction's timestamp; reads are served by the youngest version older
+//! than the reader and never block. A read is rejected only when an *older*
+//! transaction's pre-write is still pending on the item (serving it would
+//! skip the version that write is about to insert). Writes are rejected
 //! only when they would invalidate a read that has already been granted
 //! (i.e. a version older than the writer has been read by a transaction
 //! younger than the writer).
@@ -65,12 +67,33 @@ impl ItemVersions {
 pub struct MultiversionTimestampOrdering {
     items: Mutex<HashMap<ItemId, ItemVersions>>,
     touched: Mutex<HashMap<TxnId, HashSet<ItemId>>>,
+    /// Post-recovery admission floor (see
+    /// [`CcProtocol::install_recovery_floor`]): a crash loses the version
+    /// chains and their `rts` marks, and the rebuilt chain seeds the
+    /// surviving committed value at `wts = ZERO` — so below-floor readers
+    /// would mistake young data for old, and below-floor writers could
+    /// invalidate reads whose `rts` marks vanished.
+    floor: Mutex<Timestamp>,
+    /// How long a read may wait for an older transaction's pending
+    /// pre-write to resolve before being rejected. Zero (the [`Default`])
+    /// rejects immediately.
+    wait_budget: std::time::Duration,
 }
 
 impl MultiversionTimestampOrdering {
-    /// Creates an MVTO instance.
+    /// Creates an MVTO instance (with a zero wait budget: reads racing an
+    /// older pending pre-write are rejected immediately; see
+    /// [`MultiversionTimestampOrdering::with_wait_budget`]).
     pub fn new() -> Self {
         MultiversionTimestampOrdering::default()
+    }
+
+    /// Lets reads racing an older pending pre-write wait up to `budget` for
+    /// it to resolve, preserving MVTO's readers-(almost)-never-abort
+    /// property under contention while staying bounded.
+    pub fn with_wait_budget(mut self, budget: std::time::Duration) -> Self {
+        self.wait_budget = budget;
+        self
     }
 
     /// Number of committed versions currently retained for `item` (including
@@ -107,29 +130,71 @@ impl MultiversionTimestampOrdering {
 
 impl CcProtocol for MultiversionTimestampOrdering {
     fn read(&self, txn: &TxnContext, item: &ItemId, current: (Value, Version)) -> CcDecision {
-        let mut items = self.items.lock();
-        let entry = items.entry(item.clone()).or_default();
-        entry.seed_if_empty(&current);
-        let Some(index) = entry.visible_index(txn.ts) else {
-            // Nothing is visible below this timestamp — can only happen if
-            // the initial version is younger than the reader, which the
-            // ZERO-seed prevents; treat as a violation defensively.
+        if txn.ts < *self.floor.lock() {
             return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
                 item: item.clone(),
                 rejected: txn.ts,
             });
-        };
-        let version = &mut entry.versions[index];
-        version.rts = version.rts.max(txn.ts);
-        let override_pair = (version.value.clone(), version.version);
-        drop(items);
-        self.track(txn.id, item);
-        CcDecision::Granted {
-            value_override: Some(override_pair),
+        }
+        // A pending pre-write by a smaller-timestamped *other* transaction
+        // would insert a version between the one this read would pick and
+        // the reader — serving the read now silently skips that version
+        // (lost update once both commit). Wait, bounded by the wait budget,
+        // for the pending write to resolve; reject when the budget runs
+        // out so the protocol stays non-blocking overall. The grant happens
+        // under the same lock acquisition as the final pending check, so no
+        // new pre-write can slip in between.
+        let deadline = std::time::Instant::now() + self.wait_budget;
+        loop {
+            {
+                let mut items = self.items.lock();
+                let entry = items.entry(item.clone()).or_default();
+                entry.seed_if_empty(&current);
+                let blocked = entry
+                    .pending_writes
+                    .iter()
+                    .filter(|(id, _)| **id != txn.id)
+                    .map(|(_, ts)| *ts)
+                    .min()
+                    .is_some_and(|pending| txn.ts > pending);
+                if !blocked {
+                    let Some(index) = entry.visible_index(txn.ts) else {
+                        // Nothing is visible below this timestamp — can only
+                        // happen if the initial version is younger than the
+                        // reader, which the ZERO-seed prevents; treat as a
+                        // violation defensively.
+                        return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
+                            item: item.clone(),
+                            rejected: txn.ts,
+                        });
+                    };
+                    let version = &mut entry.versions[index];
+                    version.rts = version.rts.max(txn.ts);
+                    let override_pair = (version.value.clone(), version.version);
+                    drop(items);
+                    self.track(txn.id, item);
+                    return CcDecision::Granted {
+                        value_override: Some(override_pair),
+                    };
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
+                    item: item.clone(),
+                    rejected: txn.ts,
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
         }
     }
 
     fn prewrite(&self, txn: &TxnContext, item: &ItemId, current: (Value, Version)) -> CcDecision {
+        if txn.ts < *self.floor.lock() {
+            return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
+                item: item.clone(),
+                rejected: txn.ts,
+            });
+        }
         let mut items = self.items.lock();
         let entry = items.entry(item.clone()).or_default();
         entry.seed_if_empty(&current);
@@ -204,6 +269,11 @@ impl CcProtocol for MultiversionTimestampOrdering {
         }
     }
 
+    fn install_recovery_floor(&self, floor: Timestamp) {
+        let mut current = self.floor.lock();
+        *current = (*current).max(floor);
+    }
+
     fn name(&self) -> &'static str {
         "MVTO"
     }
@@ -237,6 +307,53 @@ mod tests {
             } => value,
             other => panic!("expected granted read with override, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn read_cannot_skip_an_older_pending_write() {
+        let cc = MultiversionTimestampOrdering::new();
+        let w = ctx(1, 10);
+        assert!(cc.prewrite(&w, &item("x"), current()).is_granted());
+        // A younger reader would skip the version T10 is about to insert.
+        assert!(!cc.read(&ctx(2, 20), &item("x"), current()).is_granted());
+        // An older reader is ordered before the pending write: fine.
+        assert!(cc.read(&ctx(3, 5), &item("x"), current()).is_granted());
+        // The writer's own read-for-update is never blocked by itself.
+        assert!(cc.read(&w, &item("x"), current()).is_granted());
+        cc.commit(&w, &[(item("x"), Value::Int(7), Version(1))]);
+        let reader = ctx(4, 30);
+        assert_eq!(read_value(&cc, &reader, "x"), Value::Int(7));
+    }
+
+    #[test]
+    fn blocked_read_waits_and_then_sees_the_new_version() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let cc = Arc::new(
+            MultiversionTimestampOrdering::new().with_wait_budget(Duration::from_millis(500)),
+        );
+        assert!(cc.prewrite(&ctx(1, 10), &item("x"), current()).is_granted());
+        let cc2 = Arc::clone(&cc);
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cc2.commit(&ctx(1, 10), &[(item("x"), Value::Int(7), Version(1))]);
+        });
+        // The ts-20 reader waits out the ts-10 pending write and then reads
+        // the version it inserted instead of silently skipping it.
+        let reader = ctx(2, 20);
+        assert_eq!(read_value(&cc, &reader, "x"), Value::Int(7));
+        resolver.join().unwrap();
+    }
+
+    #[test]
+    fn recovery_floor_fences_pre_crash_timestamps() {
+        let cc = MultiversionTimestampOrdering::new();
+        cc.install_recovery_floor(Timestamp::new(50, 0));
+        assert!(!cc.read(&ctx(1, 20), &item("x"), current()).is_granted());
+        assert!(!cc.prewrite(&ctx(2, 49), &item("x"), current()).is_granted());
+        // At and above the floor, normal multi-version rules apply.
+        assert!(cc.read(&ctx(3, 60), &item("x"), current()).is_granted());
+        assert!(cc.prewrite(&ctx(4, 70), &item("x"), current()).is_granted());
     }
 
     #[test]

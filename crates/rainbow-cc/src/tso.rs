@@ -11,25 +11,30 @@
 //! Rules implemented (the classic Bernstein/Goodman formulation adapted to
 //! deferred writes through 2PC):
 //!
-//! * `read(x, ts)`  : rejected if `ts < wts(x)` or `ts < min pending-write ts`
-//!   …otherwise granted and `rts(x) = max(rts(x), ts)`;
+//! * `read(x, ts)`  : rejected if `ts < wts(x)`. While another transaction
+//!   holds a pending pre-write with a smaller timestamp, the read *waits*
+//!   (bounded by the wait budget) for it to resolve — serving it early
+//!   would observe the value that write is about to supersede while being
+//!   ordered after it, a lost update. Granted reads set
+//!   `rts(x) = max(rts(x), ts)`;
 //! * `write(x, ts)` : rejected if `ts < rts(x)` or `ts < wts(x)`; otherwise a
 //!   pending pre-write is recorded;
 //! * `commit`       : pending writes become committed, `wts(x) = max(wts(x), ts)`;
 //! * `abort`        : pending writes vanish.
 //!
-//! The pending-write check on reads keeps a reader from observing a value
-//! that a concurrent, earlier-prepared-but-later-timestamped transaction is
-//! about to overwrite in the same quorum round; it is a conservative
-//! simplification of full prewrite/read queues that keeps the protocol
-//! non-blocking (a Rainbow design goal: protocols stay simple enough for
-//! students to replace).
+//! The pending-write wait on reads is the bounded form of the textbook
+//! prewrite/read queue: a reader ordered after a pending write waits for
+//! that write's decision instead of either observing the superseded value
+//! (a lost update — found by the chaos harness) or aborting immediately.
+//! The wait budget keeps the protocol bounded, and the implementation
+//! simple enough for students to replace (a Rainbow design goal).
 
 use crate::types::{CcDecision, CcProtocol, TxnContext};
 use parking_lot::Mutex;
 use rainbow_common::txn::AbortCause;
 use rainbow_common::{ItemId, Timestamp, TxnId, Value, Version};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
 
 #[derive(Debug, Default, Clone)]
 struct ItemTimestamps {
@@ -48,12 +53,30 @@ pub struct TimestampOrdering {
     /// Items touched by each active transaction (so abort/commit can clean
     /// pending entries without scanning every item).
     touched: Mutex<HashMap<TxnId, HashSet<ItemId>>>,
+    /// Post-recovery admission floor (see
+    /// [`CcProtocol::install_recovery_floor`]): operations below it are
+    /// rejected because the pre-crash `rts`/`wts` they might conflict with
+    /// were lost with the volatile tables.
+    floor: Mutex<Timestamp>,
+    /// How long a read blocked behind an earlier transaction's pending
+    /// pre-write may wait for that write to resolve before being rejected.
+    /// Zero (the [`Default`]) rejects immediately.
+    wait_budget: std::time::Duration,
 }
 
 impl TimestampOrdering {
-    /// Creates a TSO instance.
+    /// Creates a TSO instance (with a zero wait budget: blocked reads are
+    /// rejected immediately; see [`TimestampOrdering::with_wait_budget`]).
     pub fn new() -> Self {
         TimestampOrdering::default()
+    }
+
+    /// Lets reads blocked behind an earlier pending pre-write wait up to
+    /// `budget` for it to resolve (the prewrite-queue behaviour of textbook
+    /// TSO, bounded so the protocol stays non-blocking overall).
+    pub fn with_wait_budget(mut self, budget: std::time::Duration) -> Self {
+        self.wait_budget = budget;
+        self
     }
 
     /// The `(rts, wts)` pair currently recorded for an item (zero timestamps
@@ -77,32 +100,68 @@ impl TimestampOrdering {
 
 impl CcProtocol for TimestampOrdering {
     fn read(&self, txn: &TxnContext, item: &ItemId, _current: (Value, Version)) -> CcDecision {
-        let mut items = self.items.lock();
-        let entry = items.entry(item.clone()).or_default();
-        let earliest_pending = entry
-            .pending_writes
-            .values()
-            .copied()
-            .min()
-            .unwrap_or(Timestamp::ZERO);
-        // Reading behind a committed write, or behind a pending write that a
-        // smaller-timestamped transaction has staged, is rejected.
-        let own_pending = entry.pending_writes.contains_key(&txn.id);
-        if txn.ts < entry.wts
-            || (!own_pending && earliest_pending != Timestamp::ZERO && txn.ts > earliest_pending)
-        {
+        if txn.ts < *self.floor.lock() {
             return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
                 item: item.clone(),
                 rejected: txn.ts,
             });
         }
-        entry.rts = entry.rts.max(txn.ts);
-        drop(items);
-        self.track(txn.id, item);
-        CcDecision::granted()
+        // A read must not slip past a pending pre-write staged by a
+        // smaller-timestamped *other* transaction: it would observe the
+        // value that write is about to supersede while being ordered after
+        // the writer — the lost-update the chaos harness reproduces when
+        // two read-modify-writes race. (The transaction's own pending
+        // pre-write never blocks its own read: read-for-update issues the
+        // pre-write first.) Such a read waits, bounded by the wait budget,
+        // for the pending write to resolve — the prewrite-queue behaviour
+        // of textbook TSO — and is rejected when the budget runs out.
+        let deadline = Instant::now() + self.wait_budget;
+        loop {
+            {
+                let mut items = self.items.lock();
+                let entry = items.entry(item.clone()).or_default();
+                // Reading behind a committed write is too late no matter
+                // what the pending writes resolve to (wts never decreases),
+                // so reject before deciding to wait.
+                if txn.ts < entry.wts {
+                    return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
+                        item: item.clone(),
+                        rejected: txn.ts,
+                    });
+                }
+                let earliest_other_pending = entry
+                    .pending_writes
+                    .iter()
+                    .filter(|(id, _)| **id != txn.id)
+                    .map(|(_, ts)| *ts)
+                    .min();
+                match earliest_other_pending {
+                    Some(pending) if txn.ts > pending => {} // wait below
+                    _ => {
+                        entry.rts = entry.rts.max(txn.ts);
+                        drop(items);
+                        self.track(txn.id, item);
+                        return CcDecision::granted();
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
+                    item: item.clone(),
+                    rejected: txn.ts,
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     fn prewrite(&self, txn: &TxnContext, item: &ItemId, _current: (Value, Version)) -> CcDecision {
+        if txn.ts < *self.floor.lock() {
+            return CcDecision::Rejected(AbortCause::CcpTimestampViolation {
+                item: item.clone(),
+                rejected: txn.ts,
+            });
+        }
         let mut items = self.items.lock();
         let entry = items.entry(item.clone()).or_default();
         if txn.ts < entry.rts || txn.ts < entry.wts {
@@ -150,6 +209,11 @@ impl CcProtocol for TimestampOrdering {
                 }
             }
         }
+    }
+
+    fn install_recovery_floor(&self, floor: Timestamp) {
+        let mut current = self.floor.lock();
+        *current = (*current).max(floor);
     }
 
     fn name(&self) -> &'static str {
@@ -227,6 +291,43 @@ mod tests {
     }
 
     #[test]
+    fn read_for_update_cannot_bypass_an_earlier_pending_write() {
+        // Two read-modify-writes race: T1 (ts 10) pre-writes x, then T2
+        // (ts 20) pre-writes x and issues the read half of its
+        // read-for-update. T2's own pending entry must NOT hide T1's: the
+        // value T2 would read is the one T1 is about to supersede, yet T2
+        // serializes after T1 — the classic lost update.
+        let cc = TimestampOrdering::new();
+        let t1 = ctx(1, 10);
+        let t2 = ctx(2, 20);
+        assert!(cc.prewrite(&t1, &item("x"), current()).is_granted());
+        assert!(cc.prewrite(&t2, &item("x"), current()).is_granted());
+        assert!(!cc.read(&t2, &item("x"), current()).is_granted());
+        // Once T1 is decided (here: aborted), T2's own pending write alone
+        // never blocks its read.
+        cc.abort(&t1);
+        assert!(cc.read(&t2, &item("x"), current()).is_granted());
+    }
+
+    #[test]
+    fn blocked_read_waits_for_the_pending_write_to_resolve() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let cc = Arc::new(TimestampOrdering::new().with_wait_budget(Duration::from_millis(500)));
+        let writer = ctx(1, 10);
+        assert!(cc.prewrite(&writer, &item("x"), current()).is_granted());
+        let cc2 = Arc::clone(&cc);
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cc2.commit(&ctx(1, 10), &[(item("x"), Value::Int(1), Version(1))]);
+        });
+        // The ts-20 reader blocks behind the ts-10 pending write, then
+        // proceeds once it commits (20 > wts 10).
+        assert!(cc.read(&ctx(2, 20), &item("x"), current()).is_granted());
+        resolver.join().unwrap();
+    }
+
+    #[test]
     fn read_past_pending_write_of_earlier_txn_is_rejected() {
         let cc = TimestampOrdering::new();
         let writer = ctx(1, 10);
@@ -242,6 +343,24 @@ mod tests {
         cc.commit(&writer, &[(item("x"), Value::Int(1), Version(1))]);
         let reader3 = ctx(3, 30);
         assert!(cc.read(&reader3, &item("x"), current()).is_granted());
+    }
+
+    #[test]
+    fn recovery_floor_fences_pre_crash_timestamps() {
+        let cc = TimestampOrdering::new();
+        assert!(cc.read(&ctx(1, 10), &item("x"), current()).is_granted());
+        cc.install_recovery_floor(Timestamp::new(40, 0));
+        // Below the floor: rejected even though the (rebuilt, empty) tables
+        // would have granted them — the pre-crash rts/wts they might
+        // conflict with are gone.
+        assert!(!cc.prewrite(&ctx(2, 30), &item("x"), current()).is_granted());
+        assert!(!cc.read(&ctx(3, 39), &item("y"), current()).is_granted());
+        // At and above the floor, normal rules apply.
+        assert!(cc.read(&ctx(4, 40), &item("y"), current()).is_granted());
+        assert!(cc.prewrite(&ctx(5, 41), &item("x"), current()).is_granted());
+        // The floor never moves backwards.
+        cc.install_recovery_floor(Timestamp::new(5, 0));
+        assert!(!cc.read(&ctx(6, 20), &item("z"), current()).is_granted());
     }
 
     #[test]

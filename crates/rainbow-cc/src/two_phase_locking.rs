@@ -62,12 +62,25 @@ impl CcProtocol for TwoPhaseLocking {
 
     fn validate(&self, txn: &TxnContext) -> CcDecision {
         if self.locks.is_wounded(txn.id) {
-            CcDecision::Rejected(AbortCause::CcpDeadlock {
+            return CcDecision::Rejected(AbortCause::CcpDeadlock {
                 item: ItemId::new("<wounded>"),
-            })
-        } else {
-            CcDecision::granted()
+            });
         }
+        // A participant being prepared always holds at least one lock: every
+        // access this site granted is locked until the decision (strict
+        // 2PL). Holding nothing means the grants were lost — the site
+        // crashed and recovered with a fresh lock table, or the janitor
+        // already released the transaction — and other transactions may have
+        // locked the same items since, so vouching for the old accesses
+        // would break serializability (the chaos harness catches exactly
+        // this as a cycle). Vote NO instead.
+        if self.locks.held_by(txn.id).is_empty() {
+            return CcDecision::Rejected(AbortCause::CcpLockConflict {
+                item: ItemId::new("<grants-lost>"),
+                holder: None,
+            });
+        }
+        CcDecision::granted()
     }
 
     fn commit(&self, txn: &TxnContext, _writes: &[(ItemId, Value, Version)]) {
@@ -189,9 +202,11 @@ mod tests {
         let h = thread::spawn(move || cc2.prewrite(&ctx(1, 1), &item("x"), current()));
         thread::sleep(Duration::from_millis(20));
         assert!(!cc.validate(&young).is_granted());
-        assert!(cc.validate(&old).is_granted());
         cc.abort(&young);
         assert!(h.join().unwrap().is_granted());
+        // The winning older transaction — now actually holding the lock,
+        // as any prepared participant does — validates cleanly.
+        assert!(cc.validate(&old).is_granted());
     }
 
     #[test]
@@ -201,6 +216,21 @@ mod tests {
         assert!(cc.read(&t1, &item("x"), current()).is_granted());
         assert!(cc.validate(&t1).is_granted());
         assert_eq!(cc.name(), "2PL");
+    }
+
+    #[test]
+    fn validate_rejects_transactions_holding_no_resources() {
+        let cc = tpl(DeadlockPolicy::WaitForGraph);
+        let t1 = ctx(1, 1);
+        // No lock held at this site (grants lost in a crash, or released by
+        // the janitor): the site must not vouch for the old accesses.
+        assert!(!cc.validate(&t1).is_granted());
+        // Once an access is granted (and still held), validation passes.
+        assert!(cc.read(&t1, &item("x"), current()).is_granted());
+        assert!(cc.validate(&t1).is_granted());
+        // After release (decision applied), a late re-validation fails again.
+        cc.commit(&t1, &[]);
+        assert!(!cc.validate(&t1).is_granted());
     }
 
     #[test]

@@ -100,6 +100,18 @@ pub trait CcProtocol: Send + Sync {
     /// The transaction aborted: release every lock / reservation.
     fn abort(&self, txn: &TxnContext);
 
+    /// Installs a conservative recovery floor after a crash wiped this
+    /// protocol's volatile state: the site's clock value at recovery, below
+    /// which no operation may be granted any more. Timestamp protocols lose
+    /// their `rts`/`wts` tables in a crash, so without the floor a
+    /// recovered site would happily grant an *old* write it had already
+    /// ordered a younger read past before crashing — the serializability
+    /// hole the chaos harness caught. The floor conservatively restores the
+    /// lost rejection surface (every pre-crash grant carried a timestamp
+    /// the site's surviving Lamport clock has observed). Default: no-op,
+    /// for protocols whose admission does not depend on lost state.
+    fn install_recovery_floor(&self, _floor: Timestamp) {}
+
     /// Human-readable protocol name, used by reports.
     fn name(&self) -> &'static str;
 
@@ -119,10 +131,15 @@ pub fn make_ccp(
             deadlock,
             lock_wait_timeout,
         )),
-        CcpKind::TimestampOrdering => Arc::new(crate::tso::TimestampOrdering::new()),
-        CcpKind::MultiversionTimestampOrdering => {
-            Arc::new(crate::mvto::MultiversionTimestampOrdering::new())
+        // The lock-wait timeout doubles as the wait budget of reads blocked
+        // behind an earlier transaction's pending pre-write (the bounded
+        // prewrite-queue of textbook TSO/MVTO).
+        CcpKind::TimestampOrdering => {
+            Arc::new(crate::tso::TimestampOrdering::new().with_wait_budget(lock_wait_timeout))
         }
+        CcpKind::MultiversionTimestampOrdering => Arc::new(
+            crate::mvto::MultiversionTimestampOrdering::new().with_wait_budget(lock_wait_timeout),
+        ),
     }
 }
 

@@ -1,0 +1,684 @@
+//! The history checker: register semantics + DSG cycle detection.
+
+use rainbow_common::history::{History, TxnRecord};
+use rainbow_common::{ItemId, TxnId, Value, Version};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// The kind of dependency an edge of the serialization graph encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Read-from: the writer of a version precedes its readers.
+    WriteRead,
+    /// Version order: writes of the same item in version order.
+    WriteWrite,
+    /// Anti-dependency: a reader of a version precedes the writer of the
+    /// next version of that item.
+    ReadWrite,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::WriteRead => write!(f, "wr"),
+            DepKind::WriteWrite => write!(f, "ww"),
+            DepKind::ReadWrite => write!(f, "rw"),
+        }
+    }
+}
+
+/// One step of a reported dependency cycle: this transaction reaches the
+/// next one (cyclically) through an edge of the given kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleStep {
+    /// The transaction.
+    pub txn: TxnId,
+    /// The dependency leading to the next transaction in the cycle.
+    pub edge: DepKind,
+}
+
+/// A way the history failed the check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A committed transaction observed a version installed by a transaction
+    /// that aborted.
+    DirtyRead {
+        /// The reader.
+        reader: TxnId,
+        /// The item.
+        item: ItemId,
+        /// The observed version.
+        version: Version,
+        /// The aborted transaction that wrote it.
+        writer: TxnId,
+    },
+    /// A committed transaction observed a version no known transaction
+    /// installed (and which is not the initial version).
+    UnknownVersion {
+        /// The reader.
+        reader: TxnId,
+        /// The item.
+        item: ItemId,
+        /// The unexplained version.
+        version: Version,
+    },
+    /// A read returned a value different from the one the committed write
+    /// of its observed version installed — the per-item register broke.
+    ValueMismatch {
+        /// The reader.
+        reader: TxnId,
+        /// The item.
+        item: ItemId,
+        /// The observed version.
+        version: Version,
+        /// The value the reader saw.
+        observed: Value,
+        /// The value the version's writer installed (`None` when the
+        /// version is the initial one and the item has no initial value on
+        /// record).
+        installed: Option<Value>,
+    },
+    /// Two distinct committed transactions installed the same version of the
+    /// same item — split-brain in the replication layer.
+    ConflictingVersions {
+        /// The item.
+        item: ItemId,
+        /// The colliding version.
+        version: Version,
+        /// The transactions that each claim to have installed it.
+        writers: Vec<TxnId>,
+    },
+    /// The direct serialization graph contains a dependency cycle: no serial
+    /// order of the committed transactions explains the run.
+    Cycle {
+        /// The cycle, as transactions each reaching the next (the last
+        /// step's edge closes back to the first transaction).
+        steps: Vec<CycleStep>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DirtyRead {
+                reader,
+                item,
+                version,
+                writer,
+            } => write!(
+                f,
+                "dirty read: {reader} observed {item}@{version} written by aborted {writer}"
+            ),
+            Violation::UnknownVersion {
+                reader,
+                item,
+                version,
+            } => write!(
+                f,
+                "unknown version: {reader} observed {item}@{version} which nobody installed"
+            ),
+            Violation::ValueMismatch {
+                reader,
+                item,
+                version,
+                observed,
+                installed,
+            } => write!(
+                f,
+                "register violation: {reader} read {item}@{version} = {observed:?}, \
+                 but that version holds {installed:?}"
+            ),
+            Violation::ConflictingVersions {
+                item,
+                version,
+                writers,
+            } => {
+                write!(f, "conflicting installs of {item}@{version} by ")?;
+                for (i, w) in writers.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                Ok(())
+            }
+            Violation::Cycle { steps } => {
+                write!(f, "serialization cycle: ")?;
+                for step in steps {
+                    write!(f, "{} -{}-> ", step.txn, step.edge)?;
+                }
+                if let Some(first) = steps.first() {
+                    write!(f, "{}", first.txn)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The checker's verdict over one history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Transactions whose coordinator decided commit.
+    pub committed: usize,
+    /// Orphaned-outcome transactions promoted to committed because a
+    /// committed transaction observed one of their versions (their commit
+    /// happened even though the coordinator never saw the decision).
+    pub inferred_committed: usize,
+    /// Aborted transactions.
+    pub aborted: usize,
+    /// Orphaned transactions that stayed unknown (not promoted).
+    pub orphaned: usize,
+    /// Dependency edges in the serialization graph.
+    pub edges: usize,
+    /// Everything that failed, empty for a clean history.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// True when the history passed every check.
+    pub fn is_serializable(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} committed (+{} inferred), {} aborted, {} orphaned, {} edges, {}",
+            self.committed,
+            self.inferred_committed,
+            self.aborted,
+            self.orphaned,
+            self.edges,
+            if self.is_serializable() {
+                "serializable".to_string()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        )
+    }
+}
+
+/// Checks a history: register semantics per item, then DSG acyclicity over
+/// the committed transactions. See the crate docs for the model.
+pub fn check_history(history: &History) -> CheckReport {
+    let mut violations = Vec::new();
+
+    // ------------------------------------------------------------------
+    // Classify records. Orphaned transactions whose installed versions were
+    // observed by a committed reader must have committed (quorum reads only
+    // return installed copies), so they join the graph.
+    // ------------------------------------------------------------------
+    let mut committed: Vec<&TxnRecord> = Vec::new();
+    let mut aborted_writes: HashMap<(ItemId, Version), TxnId> = HashMap::new();
+    let mut orphans: Vec<&TxnRecord> = Vec::new();
+    let mut aborted = 0usize;
+    for record in &history.records {
+        match &record.outcome {
+            rainbow_common::txn::TxnOutcome::Committed => committed.push(record),
+            rainbow_common::txn::TxnOutcome::Aborted(_) => {
+                aborted += 1;
+                for write in &record.writes {
+                    aborted_writes.insert((write.item.clone(), write.version), record.txn);
+                }
+            }
+            rainbow_common::txn::TxnOutcome::Orphaned => orphans.push(record),
+        }
+    }
+    // Promote to a fixpoint: a promoted orphan's reads are observations
+    // too, so an orphan chain (O1's write observed only by promoted O2)
+    // promotes transitively instead of leaving O1 behind as a false
+    // UnknownVersion.
+    let mut observed: BTreeSet<(ItemId, Version)> = committed
+        .iter()
+        .flat_map(|r| r.reads.iter().map(|read| (read.item.clone(), read.version)))
+        .collect();
+    let committed_count = committed.len();
+    let mut inferred_committed = 0usize;
+    loop {
+        let (promoted, remaining): (Vec<&TxnRecord>, Vec<&TxnRecord>) =
+            orphans.into_iter().partition(|record| {
+                record
+                    .writes
+                    .iter()
+                    .any(|w| observed.contains(&(w.item.clone(), w.version)))
+            });
+        orphans = remaining;
+        if promoted.is_empty() {
+            break;
+        }
+        inferred_committed += promoted.len();
+        for record in &promoted {
+            observed.extend(
+                record
+                    .reads
+                    .iter()
+                    .map(|read| (read.item.clone(), read.version)),
+            );
+        }
+        committed.extend(promoted);
+    }
+    let orphaned = orphans.len();
+
+    // ------------------------------------------------------------------
+    // Index writers: (item, version) -> (node, value). A version installed
+    // by two distinct committed transactions is split-brain.
+    // ------------------------------------------------------------------
+    let node_of: HashMap<TxnId, usize> = committed
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.txn, i))
+        .collect();
+    let mut writers: HashMap<(ItemId, Version), (usize, Value)> = HashMap::new();
+    for (node, record) in committed.iter().enumerate() {
+        for write in &record.writes {
+            let key = (write.item.clone(), write.version);
+            match writers.get(&key) {
+                Some((prev, _)) if *prev != node => {
+                    violations.push(Violation::ConflictingVersions {
+                        item: write.item.clone(),
+                        version: write.version,
+                        writers: vec![committed[*prev].txn, record.txn],
+                    });
+                }
+                // Re-writes of the same item inside one transaction may
+                // reuse a version; the last value stands.
+                _ => {
+                    writers.insert(key, (node, write.value.clone()));
+                }
+            }
+        }
+    }
+
+    // Per-item version chains (ascending), for ww and rw edges.
+    let mut chains: BTreeMap<ItemId, BTreeMap<Version, usize>> = BTreeMap::new();
+    for ((item, version), (node, _)) in &writers {
+        chains
+            .entry(item.clone())
+            .or_default()
+            .insert(*version, *node);
+    }
+
+    // ------------------------------------------------------------------
+    // Register semantics: every committed read returns exactly the value
+    // its observed version carries.
+    // ------------------------------------------------------------------
+    for record in &committed {
+        for read in &record.reads {
+            let key = (read.item.clone(), read.version);
+            if read.version == Version::INITIAL {
+                match history.initial.get(&read.item) {
+                    Some(initial) if *initial == read.value => {}
+                    installed => violations.push(Violation::ValueMismatch {
+                        reader: record.txn,
+                        item: read.item.clone(),
+                        version: read.version,
+                        observed: read.value.clone(),
+                        installed: installed.cloned(),
+                    }),
+                }
+                continue;
+            }
+            match writers.get(&key) {
+                Some((_, value)) if *value == read.value => {}
+                Some((_, value)) => violations.push(Violation::ValueMismatch {
+                    reader: record.txn,
+                    item: read.item.clone(),
+                    version: read.version,
+                    observed: read.value.clone(),
+                    installed: Some(value.clone()),
+                }),
+                None => match aborted_writes.get(&key) {
+                    Some(writer) => violations.push(Violation::DirtyRead {
+                        reader: record.txn,
+                        item: read.item.clone(),
+                        version: read.version,
+                        writer: *writer,
+                    }),
+                    None => violations.push(Violation::UnknownVersion {
+                        reader: record.txn,
+                        item: read.item.clone(),
+                        version: read.version,
+                    }),
+                },
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The direct serialization graph.
+    // ------------------------------------------------------------------
+    let n = committed.len();
+    let mut adjacency: Vec<Vec<(usize, DepKind)>> = vec![Vec::new(); n];
+    let mut edge_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let add_edge = |adjacency: &mut Vec<Vec<(usize, DepKind)>>,
+                    edge_set: &mut BTreeSet<(usize, usize)>,
+                    from: usize,
+                    to: usize,
+                    kind: DepKind| {
+        if from != to && edge_set.insert((from, to)) {
+            adjacency[from].push((to, kind));
+        }
+    };
+
+    // ww: version order per item.
+    for chain in chains.values() {
+        let nodes: Vec<usize> = chain.values().copied().collect();
+        for pair in nodes.windows(2) {
+            add_edge(
+                &mut adjacency,
+                &mut edge_set,
+                pair[0],
+                pair[1],
+                DepKind::WriteWrite,
+            );
+        }
+    }
+
+    // wr and rw per committed read.
+    for record in &committed {
+        let reader = node_of[&record.txn];
+        for read in &record.reads {
+            if let Some((writer, _)) = writers.get(&(read.item.clone(), read.version)) {
+                add_edge(
+                    &mut adjacency,
+                    &mut edge_set,
+                    *writer,
+                    reader,
+                    DepKind::WriteRead,
+                );
+            }
+            if let Some(chain) = chains.get(&read.item) {
+                // The writer of the next version (skipping the reader's own
+                // writes: reading before overwriting is always consistent).
+                if let Some(next) = chain
+                    .range((
+                        std::ops::Bound::Excluded(read.version),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .map(|(_, node)| *node)
+                    .find(|node| *node != reader)
+                {
+                    add_edge(
+                        &mut adjacency,
+                        &mut edge_set,
+                        reader,
+                        next,
+                        DepKind::ReadWrite,
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&adjacency) {
+        violations.push(Violation::Cycle {
+            steps: cycle
+                .into_iter()
+                .map(|(node, edge)| CycleStep {
+                    txn: committed[node].txn,
+                    edge,
+                })
+                .collect(),
+        });
+    }
+
+    CheckReport {
+        committed: committed_count,
+        inferred_committed,
+        aborted,
+        orphaned,
+        edges: edge_set.len(),
+        violations,
+    }
+}
+
+/// Finds one dependency cycle, if any: iterative three-color DFS; the
+/// returned steps list each node of the cycle with the edge kind leading to
+/// the next (the last edge closes back to the first node).
+fn find_cycle(adjacency: &[Vec<(usize, DepKind)>]) -> Option<Vec<(usize, DepKind)>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = adjacency.len();
+    let mut color = vec![Color::White; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack frames: (node, index of the next edge to explore).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = Color::Gray;
+        while let Some(&(node, edge_index)) = stack.last() {
+            if let Some(&(next, kind)) = adjacency[node].get(edge_index) {
+                stack.last_mut().expect("frame exists").1 += 1;
+                match color[next] {
+                    Color::Gray => {
+                        // Cycle: the frames from `next` to the top, each
+                        // contributing the edge it took to its successor.
+                        let from = stack
+                            .iter()
+                            .position(|(frame, _)| *frame == next)
+                            .expect("gray node is on the stack");
+                        let mut steps = Vec::new();
+                        for window in stack[from..].windows(2) {
+                            let (frame, next_index) = window[0];
+                            // The edge this frame used to reach window[1] is
+                            // the one *before* its next-edge cursor.
+                            let (_, edge) = adjacency[frame][next_index - 1];
+                            debug_assert_eq!(adjacency[frame][next_index - 1].0, window[1].0);
+                            steps.push((frame, edge));
+                        }
+                        steps.push((node, kind));
+                        return Some(steps);
+                    }
+                    Color::White => {
+                        color[next] = Color::Gray;
+                        stack.push((next, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainbow_common::history::TxnRecord;
+    use rainbow_common::txn::{AbortCause, TxnOutcome};
+    use rainbow_common::SiteId;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(SiteId(0), seq)
+    }
+
+    fn base() -> History {
+        History::with_initial([
+            (ItemId::new("x"), Value::Int(100)),
+            (ItemId::new("y"), Value::Int(100)),
+        ])
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        let report = check_history(&base());
+        assert!(report.is_serializable());
+        assert_eq!(report.edges, 0);
+        assert!(report.summary().contains("serializable"));
+    }
+
+    #[test]
+    fn serial_chain_passes_with_exact_edges() {
+        let mut history = base();
+        history.push(
+            TxnRecord::new(txn(1), "w1", TxnOutcome::Committed)
+                .with_read("x", 100i64, 0)
+                .with_write("x", 1i64, 1),
+        );
+        history.push(
+            TxnRecord::new(txn(2), "w2", TxnOutcome::Committed)
+                .with_read("x", 1i64, 1)
+                .with_write("x", 2i64, 2),
+        );
+        history.push(TxnRecord::new(txn(3), "r", TxnOutcome::Committed).with_read("x", 2i64, 2));
+        let report = check_history(&history);
+        assert!(report.is_serializable(), "{:?}", report.violations);
+        assert_eq!(report.committed, 3);
+        // Edges dedupe by endpoint pair: ww/wr/rw 1->2 collapse into one
+        // edge, wr 2->3 is the other.
+        assert_eq!(report.edges, 2);
+    }
+
+    #[test]
+    fn stale_read_alone_is_serializable() {
+        // Reading an old version is allowed by serializability (the reader
+        // just serializes before the writer); only a *cycle* convicts.
+        let mut history = base();
+        history.push(TxnRecord::new(txn(1), "w", TxnOutcome::Committed).with_write("x", 5i64, 1));
+        history.push(TxnRecord::new(txn(2), "r", TxnOutcome::Committed).with_read("x", 100i64, 0));
+        let report = check_history(&history);
+        assert!(report.is_serializable(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn register_mismatch_is_flagged() {
+        let mut history = base();
+        history.push(TxnRecord::new(txn(1), "w", TxnOutcome::Committed).with_write("x", 5i64, 1));
+        history.push(TxnRecord::new(txn(2), "r", TxnOutcome::Committed).with_read("x", 6i64, 1));
+        let report = check_history(&history);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ValueMismatch { .. }]
+        ));
+        assert!(report.violations[0].to_string().contains("register"));
+    }
+
+    #[test]
+    fn initial_value_mismatch_is_flagged() {
+        let mut history = base();
+        history.push(TxnRecord::new(txn(1), "r", TxnOutcome::Committed).with_read("x", 7i64, 0));
+        let report = check_history(&history);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ValueMismatch { .. }]
+        ));
+    }
+
+    #[test]
+    fn dirty_and_unknown_reads_are_flagged() {
+        let mut history = base();
+        history.push(
+            TxnRecord::new(txn(1), "a", TxnOutcome::Aborted(AbortCause::UserAbort))
+                .with_write("x", 9i64, 1),
+        );
+        history.push(TxnRecord::new(txn(2), "r", TxnOutcome::Committed).with_read("x", 9i64, 1));
+        history.push(TxnRecord::new(txn(3), "u", TxnOutcome::Committed).with_read("y", 3i64, 7));
+        let report = check_history(&history);
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DirtyRead { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnknownVersion { .. })));
+    }
+
+    #[test]
+    fn conflicting_version_installs_are_flagged() {
+        let mut history = base();
+        history.push(TxnRecord::new(txn(1), "a", TxnOutcome::Committed).with_write("x", 1i64, 1));
+        history.push(TxnRecord::new(txn(2), "b", TxnOutcome::Committed).with_write("x", 2i64, 1));
+        let report = check_history(&history);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ConflictingVersions { .. })));
+    }
+
+    #[test]
+    fn orphan_whose_write_was_observed_is_promoted() {
+        let mut history = base();
+        history.push(TxnRecord::new(txn(1), "o", TxnOutcome::Orphaned).with_write("x", 4i64, 1));
+        history.push(TxnRecord::new(txn(2), "r", TxnOutcome::Committed).with_read("x", 4i64, 1));
+        history.push(TxnRecord::new(txn(3), "g", TxnOutcome::Orphaned).with_write("y", 8i64, 1));
+        let report = check_history(&history);
+        assert!(report.is_serializable(), "{:?}", report.violations);
+        assert_eq!(report.inferred_committed, 1);
+        assert_eq!(report.orphaned, 1, "unobserved orphan stays unknown");
+    }
+
+    #[test]
+    fn orphan_promotion_reaches_a_fixpoint_through_orphan_chains() {
+        // O1's write is observed only by O2 (itself an orphan), whose write
+        // a committed reader observed: both promote, and O2's read of O1's
+        // version must not be reported as unexplained.
+        let mut history = base();
+        history.push(TxnRecord::new(txn(1), "o1", TxnOutcome::Orphaned).with_write("x", 4i64, 1));
+        history.push(
+            TxnRecord::new(txn(2), "o2", TxnOutcome::Orphaned)
+                .with_read("x", 4i64, 1)
+                .with_write("x", 5i64, 2),
+        );
+        history.push(TxnRecord::new(txn(3), "r", TxnOutcome::Committed).with_read("x", 5i64, 2));
+        let report = check_history(&history);
+        assert!(report.is_serializable(), "{:?}", report.violations);
+        assert_eq!(report.inferred_committed, 2);
+        assert_eq!(report.orphaned, 0);
+    }
+
+    #[test]
+    fn cycle_report_names_the_transactions_and_edges() {
+        // Classic lost update: both read x@0, both write new versions.
+        let mut history = base();
+        history.push(
+            TxnRecord::new(txn(1), "t1", TxnOutcome::Committed)
+                .with_read("x", 100i64, 0)
+                .with_write("x", 110i64, 1),
+        );
+        history.push(
+            TxnRecord::new(txn(2), "t2", TxnOutcome::Committed)
+                .with_read("x", 100i64, 0)
+                .with_write("x", 120i64, 2),
+        );
+        let report = check_history(&history);
+        let cycle = report
+            .violations
+            .iter()
+            .find_map(|v| match v {
+                Violation::Cycle { steps } => Some(steps),
+                _ => None,
+            })
+            .expect("lost update must produce a cycle");
+        assert!(cycle.len() >= 2);
+        let mentioned: Vec<TxnId> = cycle.iter().map(|s| s.txn).collect();
+        assert!(mentioned.contains(&txn(1)) && mentioned.contains(&txn(2)));
+        let text = report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<String>();
+        assert!(text.contains("cycle"));
+    }
+
+    #[test]
+    fn report_serializes_for_artifact_upload() {
+        let mut history = base();
+        history.push(TxnRecord::new(txn(1), "w", TxnOutcome::Committed).with_write("x", 5i64, 1));
+        let report = check_history(&history);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CheckReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,204 @@
+//! Canonical anomaly histories the checker must reject.
+//!
+//! Each fixture is a hand-built [`History`] exhibiting one textbook
+//! isolation anomaly, expressed exactly the way a chaos run would record it
+//! (reads carry the observed version, writes the installed version). They
+//! serve two purposes: the crate's self-tests prove the checker rejects
+//! every one of them (a checker that accepts everything would be worse than
+//! none), and they double as teaching material — each function's docs spell
+//! out the anomaly's shape.
+
+use rainbow_common::history::{History, TxnRecord};
+use rainbow_common::txn::{AbortCause, TxnOutcome};
+use rainbow_common::{ItemId, SiteId, TxnId, Value};
+
+fn txn(seq: u64) -> TxnId {
+    TxnId::new(SiteId(0), seq)
+}
+
+fn two_register_bank() -> History {
+    History::with_initial([
+        (ItemId::new("x"), Value::Int(100)),
+        (ItemId::new("y"), Value::Int(100)),
+    ])
+}
+
+/// **Lost update**: `T1` and `T2` both read `x` at its initial version and
+/// both commit increments derived from that stale observation — one update
+/// overwrites the other as if it never happened. In the serialization graph
+/// each transaction anti-depends on the other (`T1 -rw-> T2` because `T1`
+/// read what `T2` overwrote, and vice versa through the version chain), so
+/// the cycle convicts the history.
+pub fn lost_update() -> History {
+    let mut history = two_register_bank();
+    history.push(
+        TxnRecord::new(txn(1), "deposit-10", TxnOutcome::Committed)
+            .with_read("x", 100i64, 0)
+            .with_write("x", 110i64, 1),
+    );
+    history.push(
+        TxnRecord::new(txn(2), "deposit-20", TxnOutcome::Committed)
+            .with_read("x", 100i64, 0)
+            .with_write("x", 120i64, 2),
+    );
+    history
+}
+
+/// **Fractured read** (read skew): `T1` commits a two-item write (`x` and
+/// `y` move together), and reader `T2` observes `x` *after* `T1` but `y`
+/// *before* it — a state that never existed. The graph shows
+/// `T1 -wr-> T2` (the fresh `x`) and `T2 -rw-> T1` (the stale `y`):
+/// a two-node cycle.
+pub fn fractured_read() -> History {
+    let mut history = two_register_bank();
+    history.push(
+        TxnRecord::new(txn(1), "transfer", TxnOutcome::Committed)
+            .with_write("x", 50i64, 1)
+            .with_write("y", 150i64, 1),
+    );
+    history.push(
+        TxnRecord::new(txn(2), "audit", TxnOutcome::Committed)
+            .with_read("x", 50i64, 1)
+            .with_read("y", 100i64, 0),
+    );
+    history
+}
+
+/// **Write skew**: `T1` reads `x` and writes `y`; `T2` reads `y` and writes
+/// `x`, both from the initial state. Each read is individually current, yet
+/// no serial order explains both (each transaction anti-depends on the
+/// other: `T1 -rw-> T2` and `T2 -rw-> T1`). This is the anomaly snapshot
+/// isolation famously admits and serializability forbids.
+pub fn write_skew() -> History {
+    let mut history = two_register_bank();
+    history.push(
+        TxnRecord::new(txn(1), "check-x-write-y", TxnOutcome::Committed)
+            .with_read("x", 100i64, 0)
+            .with_write("y", 0i64, 1),
+    );
+    history.push(
+        TxnRecord::new(txn(2), "check-y-write-x", TxnOutcome::Committed)
+            .with_read("y", 100i64, 0)
+            .with_write("x", 0i64, 1),
+    );
+    history
+}
+
+/// **Dirty read**: `T2` observes a version installed by `T1`, which then
+/// aborted. Rejected directly by the register-semantics pass (no cycle
+/// needed).
+pub fn dirty_read() -> History {
+    let mut history = two_register_bank();
+    history.push(
+        TxnRecord::new(txn(1), "doomed", TxnOutcome::Aborted(AbortCause::UserAbort))
+            .with_write("x", 666i64, 1),
+    );
+    history.push(TxnRecord::new(txn(2), "reader", TxnOutcome::Committed).with_read("x", 666i64, 1));
+    history
+}
+
+/// **Divergent replicas** (split-brain): two committed transactions each
+/// installed version 1 of `x` with different values — the replication layer
+/// let both sides of a partition "win".
+pub fn divergent_replicas() -> History {
+    let mut history = two_register_bank();
+    history.push(TxnRecord::new(txn(1), "left", TxnOutcome::Committed).with_write("x", 1i64, 1));
+    history.push(TxnRecord::new(txn(2), "right", TxnOutcome::Committed).with_write("x", 2i64, 1));
+    history
+}
+
+/// A clean serial history over the same schema: increments chained one
+/// after another, each reading exactly what its predecessor installed. The
+/// checker must accept it (and the self-tests verify that it does, so a
+/// reject-everything checker cannot pass either).
+pub fn committed_serial() -> History {
+    let mut history = two_register_bank();
+    let mut value = 100i64;
+    for i in 1..=4u64 {
+        history.push(
+            TxnRecord::new(txn(i), format!("inc-{i}"), TxnOutcome::Committed)
+                .with_read("x", value, i - 1)
+                .with_write("x", value + 10, i),
+        );
+        value += 10;
+    }
+    history.push(
+        TxnRecord::new(txn(5), "audit", TxnOutcome::Committed)
+            .with_read("x", value, 4)
+            .with_read("y", 100i64, 0),
+    );
+    history
+}
+
+/// Every fixture the checker must reject, with its name.
+pub fn rejected() -> Vec<(&'static str, History)> {
+    vec![
+        ("lost-update", lost_update()),
+        ("fractured-read", fractured_read()),
+        ("write-skew", write_skew()),
+        ("dirty-read", dirty_read()),
+        ("divergent-replicas", divergent_replicas()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_history, Violation};
+
+    #[test]
+    fn every_anomaly_fixture_is_rejected() {
+        for (name, history) in rejected() {
+            let report = check_history(&history);
+            assert!(
+                !report.is_serializable(),
+                "{name} must be rejected but passed: {}",
+                report.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn lost_update_and_skews_are_rejected_as_cycles() {
+        for (name, history) in [
+            ("lost-update", lost_update()),
+            ("fractured-read", fractured_read()),
+            ("write-skew", write_skew()),
+        ] {
+            let report = check_history(&history);
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::Cycle { .. })),
+                "{name} must be convicted by a cycle: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_read_is_a_register_violation_not_a_cycle() {
+        let report = check_history(&dirty_read());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DirtyRead { .. })));
+    }
+
+    #[test]
+    fn divergent_replicas_are_a_version_conflict() {
+        let report = check_history(&divergent_replicas());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ConflictingVersions { .. })));
+    }
+
+    #[test]
+    fn committed_serial_history_passes() {
+        let report = check_history(&committed_serial());
+        assert!(report.is_serializable(), "{:?}", report.violations);
+        assert_eq!(report.committed, 5);
+    }
+}

@@ -1,0 +1,320 @@
+//! Transaction histories for the chaos laboratory.
+//!
+//! The paper positions Rainbow as a vehicle for *experimental research on
+//! protocol behavior under faults*. Asserting "it still works" after a fault
+//! sweep needs more than spot checks: it needs the complete observable
+//! history of the run — what every transaction read (item, value, version),
+//! what it wrote, and how it ended — in a form a serializability checker
+//! (the `rainbow-check` crate) can pass judgment on.
+//!
+//! This module defines that vocabulary. A [`TxnRecord`] is the footprint of
+//! one transaction as seen by its coordinator (the authoritative observer:
+//! it knows the real outcome even when the driving client timed out and
+//! reported an orphan). A [`History`] is the cluster-wide collection of
+//! records plus the initial database state. The [`HistorySink`] is the
+//! collector the cluster owns and every coordinator appends to; recording is
+//! off by default so the bench hot path never pays for it.
+
+use crate::ids::{ItemId, TxnId, Version};
+use crate::txn::TxnOutcome;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One read as a transaction observed it: the item, the value the read
+/// quorum returned and the (highest in-quorum) version that value carried.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadObservation {
+    /// The item read.
+    pub item: ItemId,
+    /// The observed value.
+    pub value: Value,
+    /// The version the observed value carried. [`Version::INITIAL`] means
+    /// the read saw the initial database state.
+    pub version: Version,
+}
+
+/// One write as a transaction installed (or attempted to install) it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteRecord {
+    /// The item written.
+    pub item: ItemId,
+    /// The value written.
+    pub value: Value,
+    /// The version the write installs at every participating copy.
+    pub version: Version,
+}
+
+/// The complete footprint of one transaction, recorded by its coordinator
+/// when the conversation terminates.
+///
+/// For an [`TxnOutcome::Aborted`] record the `writes` list holds the writes
+/// the transaction *attempted* (its quorums assembled) but which were never
+/// installed — useful for debugging, ignored by the checker. For an
+/// [`TxnOutcome::Orphaned`] record (the commit protocol never reached a
+/// decision visible to the coordinator) the writes *may* have been installed
+/// at participants; the checker treats such transactions as committed
+/// exactly when some committed transaction observed one of their versions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnRecord {
+    /// The transaction id assigned by its home site.
+    pub txn: TxnId,
+    /// The label the transaction was submitted with.
+    pub label: String,
+    /// Every read the transaction performed, in execution order (repeated
+    /// reads of the same item each appear).
+    pub reads: Vec<ReadObservation>,
+    /// Every write the transaction staged for installation, in client order.
+    pub writes: Vec<WriteRecord>,
+    /// How the transaction ended, as decided at the coordinator.
+    pub outcome: TxnOutcome,
+    /// Order in which the record reached the sink (a cluster-wide sequence,
+    /// not a serialization order — it is *completion* order).
+    pub completion_seq: u64,
+}
+
+impl TxnRecord {
+    /// A record with no reads or writes and an unset completion sequence;
+    /// builder-style helpers below fill it in. Used by tests and the
+    /// `rainbow-check` fixture histories.
+    pub fn new(txn: TxnId, label: impl Into<String>, outcome: TxnOutcome) -> Self {
+        TxnRecord {
+            txn,
+            label: label.into(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            outcome,
+            completion_seq: 0,
+        }
+    }
+
+    /// Builder-style read observation.
+    pub fn with_read(
+        mut self,
+        item: impl Into<ItemId>,
+        value: impl Into<Value>,
+        version: u64,
+    ) -> Self {
+        self.reads.push(ReadObservation {
+            item: item.into(),
+            value: value.into(),
+            version: Version(version),
+        });
+        self
+    }
+
+    /// Builder-style write record.
+    pub fn with_write(
+        mut self,
+        item: impl Into<ItemId>,
+        value: impl Into<Value>,
+        version: u64,
+    ) -> Self {
+        self.writes.push(WriteRecord {
+            item: item.into(),
+            value: value.into(),
+            version: Version(version),
+        });
+        self
+    }
+
+    /// True when the coordinator decided commit.
+    pub fn committed(&self) -> bool {
+        self.outcome.is_committed()
+    }
+}
+
+/// The cluster-wide transaction history of one run: the initial database
+/// state plus every transaction footprint, in completion order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    /// Initial value of every item (all copies start at
+    /// [`Version::INITIAL`]).
+    pub initial: BTreeMap<ItemId, Value>,
+    /// Transaction records in completion order.
+    pub records: Vec<TxnRecord>,
+}
+
+impl History {
+    /// An empty history over the given initial database state. Fixture and
+    /// test histories start here and push records.
+    pub fn with_initial(initial: impl IntoIterator<Item = (ItemId, Value)>) -> Self {
+        History {
+            initial: initial.into_iter().collect(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record, assigning the next completion sequence.
+    pub fn push(&mut self, mut record: TxnRecord) -> &mut Self {
+        record.completion_seq = self.records.len() as u64;
+        self.records.push(record);
+        self
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no transaction was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The committed records.
+    pub fn committed(&self) -> impl Iterator<Item = &TxnRecord> {
+        self.records.iter().filter(|r| r.committed())
+    }
+
+    /// Counts per outcome class: `(committed, aborted, orphaned)`.
+    pub fn outcome_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for record in &self.records {
+            match record.outcome {
+                TxnOutcome::Committed => counts.0 += 1,
+                TxnOutcome::Aborted(_) => counts.1 += 1,
+                TxnOutcome::Orphaned => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// The collector every coordinator appends its [`TxnRecord`] to.
+///
+/// The sink is owned by the cluster and shared (behind an `Arc`) with every
+/// site; when history recording is disabled the cluster simply owns no sink
+/// and coordinators skip all bookkeeping, keeping the bench hot path free of
+/// the cost. `begun`/`recorded` counters make quiescence observable: a
+/// chaos run knows all in-flight conversations have terminated exactly when
+/// the two agree.
+#[derive(Debug, Default)]
+pub struct HistorySink {
+    begun: AtomicU64,
+    records: Mutex<Vec<TxnRecord>>,
+    next_seq: AtomicU64,
+}
+
+impl HistorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        HistorySink::default()
+    }
+
+    /// Announces that a conversation started; its record will arrive later.
+    pub fn begin(&self) {
+        self.begun.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends the final record of a conversation.
+    pub fn record(&self, mut record: TxnRecord) {
+        record.completion_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.records
+            .lock()
+            .expect("history sink poisoned")
+            .push(record);
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("history sink poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Conversations begun but not yet recorded. Zero means the history is
+    /// complete (no coordinator is still driving a transaction).
+    pub fn in_flight(&self) -> u64 {
+        self.begun.load(Ordering::Relaxed) - self.len() as u64
+    }
+
+    /// Snapshots the collected records into a [`History`] over the given
+    /// initial database state, sorted by completion order.
+    pub fn snapshot(&self, initial: impl IntoIterator<Item = (ItemId, Value)>) -> History {
+        let mut records = self.records.lock().expect("history sink poisoned").clone();
+        records.sort_by_key(|r| r.completion_seq);
+        History {
+            initial: initial.into_iter().collect(),
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+    use crate::txn::AbortCause;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(SiteId(0), seq)
+    }
+
+    #[test]
+    fn record_builder_assembles_footprints() {
+        let record = TxnRecord::new(txn(1), "t1", TxnOutcome::Committed)
+            .with_read("x", 100i64, 0)
+            .with_write("x", 110i64, 1);
+        assert!(record.committed());
+        assert_eq!(record.reads.len(), 1);
+        assert_eq!(record.reads[0].version, Version(0));
+        assert_eq!(record.writes[0].version, Version(1));
+        assert_eq!(record.label, "t1");
+    }
+
+    #[test]
+    fn history_push_assigns_completion_order() {
+        let mut history = History::with_initial([(ItemId::new("x"), Value::Int(100))]);
+        history.push(TxnRecord::new(txn(1), "a", TxnOutcome::Committed));
+        history.push(TxnRecord::new(
+            txn(2),
+            "b",
+            TxnOutcome::Aborted(AbortCause::UserAbort),
+        ));
+        history.push(TxnRecord::new(txn(3), "c", TxnOutcome::Orphaned));
+        assert_eq!(history.len(), 3);
+        assert!(!history.is_empty());
+        assert_eq!(history.records[2].completion_seq, 2);
+        assert_eq!(history.committed().count(), 1);
+        assert_eq!(history.outcome_counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn sink_tracks_in_flight_conversations() {
+        let sink = HistorySink::new();
+        assert!(sink.is_empty());
+        sink.begin();
+        sink.begin();
+        assert_eq!(sink.in_flight(), 2);
+        sink.record(TxnRecord::new(txn(1), "t", TxnOutcome::Committed));
+        assert_eq!(sink.in_flight(), 1);
+        sink.record(TxnRecord::new(txn(2), "u", TxnOutcome::Orphaned));
+        assert_eq!(sink.in_flight(), 0);
+        assert_eq!(sink.len(), 2);
+
+        let history = sink.snapshot([(ItemId::new("x"), Value::Int(5))]);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.records[0].label, "t");
+        assert_eq!(history.records[1].completion_seq, 1);
+        assert_eq!(history.initial.get(&ItemId::new("x")), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn history_serializes_for_artifact_upload() {
+        let mut history = History::with_initial([(ItemId::new("x"), Value::Int(1))]);
+        history.push(
+            TxnRecord::new(txn(1), "t", TxnOutcome::Committed)
+                .with_read("x", 1i64, 0)
+                .with_write("x", 2i64, 1),
+        );
+        let json = serde_json::to_string(&history).unwrap();
+        let back: History = serde_json::from_str(&json).unwrap();
+        assert_eq!(history, back);
+    }
+}

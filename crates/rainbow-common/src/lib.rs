@@ -23,6 +23,9 @@
 //! * [`stats`] — the extensible statistics set of Section 3 of the paper
 //!   (commit/abort counts and rates, message counts, response times,
 //!   throughput, load balance indicators);
+//! * [`history`] — transaction-history types for the chaos laboratory: what
+//!   every transaction read (item, value, version), wrote, and how it ended,
+//!   collected cluster-wide for the `rainbow-check` serializability checker;
 //! * [`error`] — the crate-wide error type;
 //! * [`rng`] — deterministic random number helpers (Zipf, hot-spot and
 //!   uniform access distributions) used by the workload generator and the
@@ -41,6 +44,7 @@ pub mod clock;
 pub mod config;
 pub mod error;
 pub mod fxhash;
+pub mod history;
 pub mod ids;
 pub mod op;
 pub mod protocol;
@@ -53,6 +57,7 @@ pub use clock::{LamportClock, TimestampGenerator};
 pub use config::{DatabaseSchema, DistributionSchema, ItemSpec, ReplicationScheme, SiteSpec};
 pub use error::{RainbowError, RainbowResult};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use history::{History, HistorySink, ReadObservation, TxnRecord, WriteRecord};
 pub use ids::{CopyId, HostId, ItemId, MessageId, SiteId, Timestamp, TxnId, Version};
 pub use op::{Operation, OperationKind};
 pub use protocol::{AcpKind, CcpKind, ProtocolStack, RcpKind};

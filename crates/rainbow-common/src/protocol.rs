@@ -310,6 +310,18 @@ impl ProtocolStack {
         self
     }
 
+    /// How long a participant entry — or an idle interactive conversation —
+    /// may sit without activity before a site presumes its driver dead and
+    /// aborts it: three full protocol-timeout windows. The site janitor,
+    /// the coordinator's conversation loop and the chaos harness's
+    /// quiescence deadline all share this one definition, so a vanished
+    /// client frees resources everywhere on the same clock and the harness
+    /// never declares a run stuck while a coordinator is still legitimately
+    /// waiting out the horizon.
+    pub fn janitor_horizon(&self) -> Duration {
+        (self.commit_timeout + self.quorum_timeout + self.lock_wait_timeout) * 3
+    }
+
     /// A compact label such as `QC+2PL+2PC`, used in reports and bench
     /// output so series are easy to identify.
     pub fn label(&self) -> String {

@@ -30,6 +30,10 @@ pub struct SessionConfig {
     pub client_timeout_ms: u64,
     /// Master seed for workload generation in this session.
     pub seed: u64,
+    /// Record every transaction's footprint (reads with versions, writes,
+    /// outcome) into a cluster-wide history for the serializability
+    /// checker. Off by default — the hot path pays nothing.
+    pub record_history: bool,
 }
 
 impl Default for SessionConfig {
@@ -41,6 +45,7 @@ impl Default for SessionConfig {
             network: NetworkConfig::perfect(),
             client_timeout_ms: 10_000,
             seed: 42,
+            record_history: false,
         }
     }
 }
@@ -54,6 +59,7 @@ impl SessionConfig {
             stack: self.stack.clone(),
             network: self.network.clone(),
             client_timeout: Duration::from_millis(self.client_timeout_ms),
+            record_history: self.record_history,
         }
     }
 

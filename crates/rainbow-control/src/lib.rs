@@ -23,6 +23,10 @@
 //! | inject network and site failures and recoveries | [`Session::crash_site`], [`Session::recover_site`], [`Session::partition`], [`Session::heal_partition`] |
 //! | progress monitor / Tx processing statistics (PMlet) | [`Session::statistics`], [`report::render_stats_panel`] |
 //!
+//! Beyond the paper's GUI verbs, the [`nemesis`] module industrialises the
+//! failure-injection panel into a seeded, replayable chaos harness judged
+//! by the `rainbow-check` serializability checker.
+//!
 //! [`Session`]: session::Session
 //! [`Session::configure_network`]: session::Session::configure_network
 //! [`Session::configure_sites`]: session::Session::configure_sites
@@ -44,11 +48,16 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod nemesis;
 pub mod report;
 pub mod runners;
 pub mod session;
 
 pub use config::SessionConfig;
+pub use nemesis::{
+    format_schedule, generate_schedule, run_nemesis, NemesisConfig, NemesisEvent, NemesisReport,
+    ScheduledEvent,
+};
 pub use report::{render_stats_panel, sweep_table, sweep_to_json, ExperimentTable};
 pub use runners::{
     run_protocol_sweep, FaultScenario, LatencySummary, ProgressRunner, SweepCell, SweepConfig,

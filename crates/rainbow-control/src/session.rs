@@ -275,6 +275,13 @@ impl Session {
         self
     }
 
+    /// Toggles history recording for the serializability checker (takes
+    /// effect at the next [`Session::start`]).
+    pub fn set_history_recording(&mut self, record: bool) -> &mut Self {
+        self.config.record_history = record;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Lifecycle (NSRunnerlet / SiteRunnerlet)
     // ------------------------------------------------------------------
@@ -475,6 +482,12 @@ impl Session {
     /// database view).
     pub fn database_view(&self, site: SiteId) -> RainbowResult<Vec<(ItemId, Value, Version)>> {
         self.cluster()?.database_snapshot(site)
+    }
+
+    /// The transaction history recorded so far; `None` when the session was
+    /// started without [`Session::set_history_recording`].
+    pub fn history(&self) -> RainbowResult<Option<rainbow_common::History>> {
+        Ok(self.cluster()?.history())
     }
 }
 

@@ -15,6 +15,7 @@ use crate::site::SiteHandle;
 use crossbeam_channel::{bounded, Receiver};
 use parking_lot::Mutex;
 use rainbow_common::config::{DatabaseSchema, DistributionSchema};
+use rainbow_common::history::{History, HistorySink};
 use rainbow_common::protocol::ProtocolStack;
 use rainbow_common::stats::StatsSnapshot;
 use rainbow_common::txn::{TxnResult, TxnSpec};
@@ -39,6 +40,11 @@ pub struct ClusterConfig {
     /// How long a client waits for a transaction result before declaring the
     /// transaction orphaned.
     pub client_timeout: Duration,
+    /// When true, every coordinator records its transaction's footprint
+    /// (reads with observed versions, installed writes, outcome) into a
+    /// cluster-wide [`History`] for the serializability checker. Off by
+    /// default: the bench hot path pays nothing.
+    pub record_history: bool,
 }
 
 impl ClusterConfig {
@@ -59,6 +65,7 @@ impl ClusterConfig {
                 .with_commit_timeout(Duration::from_millis(500)),
             network: NetworkConfig::perfect(),
             client_timeout: Duration::from_secs(10),
+            record_history: false,
         })
     }
 
@@ -77,6 +84,13 @@ impl ClusterConfig {
     /// Builder-style client timeout.
     pub fn with_client_timeout(mut self, timeout: Duration) -> Self {
         self.client_timeout = timeout;
+        self
+    }
+
+    /// Builder-style history recording toggle (see
+    /// [`ClusterConfig::record_history`]).
+    pub fn with_history_recording(mut self, record: bool) -> Self {
+        self.record_history = record;
         self
     }
 
@@ -113,6 +127,7 @@ pub struct Cluster {
     next_request: Arc<AtomicU64>,
     round_robin: Arc<AtomicU64>,
     shut_down: AtomicBool,
+    history: Option<Arc<HistorySink>>,
 }
 
 impl Cluster {
@@ -131,6 +146,8 @@ impl Cluster {
             config.distribution.clone(),
         );
 
+        let history = config.record_history.then(|| Arc::new(HistorySink::new()));
+
         let mut sites = BTreeMap::new();
         for spec in &config.distribution.sites {
             let mailbox = network.register(NodeId::Site(spec.id));
@@ -142,6 +159,7 @@ impl Cluster {
                 network.handle(),
                 mailbox,
                 metrics,
+                history.clone(),
             )?;
             sites.insert(spec.id, site);
         }
@@ -157,6 +175,7 @@ impl Cluster {
             next_request: Arc::new(AtomicU64::new(1)),
             round_robin: Arc::new(AtomicU64::new(0)),
             shut_down: AtomicBool::new(false),
+            history,
         })
     }
 
@@ -263,6 +282,42 @@ impl Cluster {
             .ok_or(RainbowError::UnknownSite(site))
     }
 
+    /// The transaction history recorded so far, or `None` when the cluster
+    /// was started without [`ClusterConfig::record_history`]. The snapshot
+    /// carries the initial database state so the checker can validate reads
+    /// of version 0.
+    pub fn history(&self) -> Option<History> {
+        self.history.as_ref().map(|sink| {
+            sink.snapshot(
+                self.config
+                    .database
+                    .items
+                    .iter()
+                    .map(|spec| (spec.id.clone(), spec.initial.clone())),
+            )
+        })
+    }
+
+    /// Waits until every conversation that ever began has recorded its
+    /// final outcome into the history sink (or `deadline_after` elapses).
+    /// Returns true on quiescence. Chaos runs call this before snapshotting
+    /// so the history cannot miss a committed transaction whose coordinator
+    /// was still finishing — a gap the checker would misread as an
+    /// unexplained version.
+    pub fn await_history_quiescence(&self, deadline_after: Duration) -> bool {
+        let Some(sink) = self.history.as_ref() else {
+            return true;
+        };
+        let deadline = std::time::Instant::now() + deadline_after;
+        while sink.in_flight() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        true
+    }
+
     /// Crashes a site: its messages are dropped by the network until it is
     /// recovered.
     pub fn crash_site(&self, site: SiteId) -> RainbowResult<()> {
@@ -284,6 +339,80 @@ impl Cluster {
         handle.recover_from_crash();
         self.network.faults().recover(NodeId::Site(site));
         Ok(())
+    }
+
+    /// Recovers a crashed site like [`Cluster::recover_site`], then runs the
+    /// **copier catch-up** the classic Available Copies algorithm requires:
+    /// the recovered site's copies are refreshed from the latest committed
+    /// versions held by live peers, so read-one protocols (Available
+    /// Copies, Primary Copy) cannot serve reads from the staleness window
+    /// the crash opened. Two passes close the race with in-flight writes:
+    ///
+    /// 1. a first pass repairs the bulk of the staleness while the site is
+    ///    still marked crashed (no new reads can hit it);
+    /// 2. after the site rejoins, writes *planned while it was still marked
+    ///    crashed* may commit without it for up to one quorum + commit
+    ///    window; the call waits that window out and repairs once more.
+    ///
+    /// The repair reads peer state directly (the simulator's privilege,
+    /// standing in for the copier transactions a real deployment would
+    /// run); only strictly newer versions are installed, so racing with
+    /// live writes is safe. Quorum-intersecting protocols (ROWA, QC, Tree
+    /// Quorum) do not need this — their reads mask stale copies by version
+    /// — but it is harmless under them.
+    pub fn recover_site_with_catchup(&self, site: SiteId) -> RainbowResult<()> {
+        let handle = self
+            .sites
+            .get(&site)
+            .ok_or(RainbowError::UnknownSite(site))?;
+        handle.recover_from_crash();
+        self.catch_up(site)?;
+        self.network.faults().recover(NodeId::Site(site));
+        std::thread::sleep(self.config.stack.quorum_timeout + self.config.stack.commit_timeout);
+        self.catch_up(site)?;
+        Ok(())
+    }
+
+    /// One catch-up pass: collect the highest committed version of every
+    /// item from the peers that are currently up, and install the ones the
+    /// recovering site is behind on.
+    fn catch_up(&self, site: SiteId) -> RainbowResult<()> {
+        let handle = self
+            .sites
+            .get(&site)
+            .ok_or(RainbowError::UnknownSite(site))?;
+        let faults = self.network.faults();
+        let mut latest: BTreeMap<ItemId, (Value, Version)> = BTreeMap::new();
+        for (peer, peer_handle) in &self.sites {
+            if *peer == site || faults.is_crashed(NodeId::Site(*peer)) {
+                continue;
+            }
+            for (item, value, version) in peer_handle.database_snapshot() {
+                match latest.get(&item) {
+                    Some((_, seen)) if *seen >= version => {}
+                    _ => {
+                        latest.insert(item, (value, version));
+                    }
+                }
+            }
+        }
+        let copies: Vec<(ItemId, Value, Version)> = latest
+            .into_iter()
+            .map(|(item, (value, version))| (item, value, version))
+            .collect();
+        handle.repair_copies(&copies);
+        Ok(())
+    }
+
+    /// Jumps a site's logical clock `ticks` ahead — the nemesis clock-skew
+    /// fault. Harmless for 2PL stacks; under (MV)TSO it makes the skewed
+    /// site issue far-future timestamps, aborting concurrent old-timestamp
+    /// transactions, which is exactly the behavior the experiment observes.
+    pub fn skew_site_clock(&self, site: SiteId, ticks: u64) -> RainbowResult<()> {
+        self.sites
+            .get(&site)
+            .map(|handle| handle.skew_clock(ticks))
+            .ok_or(RainbowError::UnknownSite(site))
     }
 
     /// Partitions the network into the given site groups (sites not listed
@@ -553,6 +682,75 @@ mod tests {
         let late = cluster.submit(TxnSpec::new("late", vec![Operation::read("x0")]));
         assert!(late.outcome.is_orphaned());
         drop(cluster);
+    }
+
+    #[test]
+    fn history_recording_captures_footprints_with_versions() {
+        let config = ClusterConfig::quick(3, 4, 3)
+            .unwrap()
+            .with_history_recording(true);
+        let cluster = Cluster::start(config).unwrap();
+        let w = cluster.submit(TxnSpec::new("w", vec![Operation::write("x0", 7i64)]));
+        assert!(w.committed());
+        let r = cluster.submit(TxnSpec::new(
+            "r",
+            vec![Operation::read("x0"), Operation::increment("x1", 1)],
+        ));
+        assert!(r.committed());
+        assert!(cluster.await_history_quiescence(Duration::from_secs(5)));
+
+        let history = cluster.history().expect("recording is on");
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.initial.len(), 4, "initial state travels along");
+        let writer = &history.records[0];
+        assert_eq!(writer.label, "w");
+        assert!(writer.committed());
+        assert_eq!(writer.writes.len(), 1);
+        assert_eq!(writer.writes[0].value, Value::Int(7));
+        assert!(writer.writes[0].version > Version(0));
+        let reader = &history.records[1];
+        assert_eq!(reader.reads.len(), 2, "read + increment observation");
+        assert_eq!(reader.reads[0].value, Value::Int(7));
+        assert_eq!(reader.reads[0].version, writer.writes[0].version);
+        assert_eq!(reader.writes.len(), 1, "the increment's install");
+    }
+
+    #[test]
+    fn history_is_absent_when_recording_is_off() {
+        let cluster = quick_cluster(2);
+        let result = cluster.submit(TxnSpec::new("t", vec![Operation::read("x0")]));
+        assert!(result.committed());
+        assert!(cluster.history().is_none());
+        assert!(cluster.await_history_quiescence(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn recovery_with_catchup_refreshes_stale_copies() {
+        let cluster = quick_cluster(3);
+        cluster.crash_site(SiteId(2)).unwrap();
+        let write = cluster.submit(TxnSpec::new("w", vec![Operation::write("x0", 42i64)]));
+        assert!(write.committed(), "{:?}", write.outcome);
+        // Raw recovery would leave site 2's copy of x0 at the initial
+        // version; the catch-up variant repairs it from live peers.
+        cluster.recover_site_with_catchup(SiteId(2)).unwrap();
+        let snapshot = cluster.database_snapshot(SiteId(2)).unwrap();
+        let copy = snapshot
+            .iter()
+            .find(|(item, _, _)| *item == ItemId::new("x0"))
+            .expect("site 2 holds x0");
+        assert_eq!(copy.1, Value::Int(42), "stale copy must be repaired");
+        assert!(copy.2 > Version(0));
+        assert!(cluster.recover_site_with_catchup(SiteId(9)).is_err());
+    }
+
+    #[test]
+    fn clock_skew_targets_known_sites_only() {
+        let cluster = quick_cluster(2);
+        cluster.skew_site_clock(SiteId(0), 10_000).unwrap();
+        assert!(cluster.skew_site_clock(SiteId(9), 1).is_err());
+        // The cluster still processes transactions after the jump.
+        let result = cluster.submit(TxnSpec::new("t", vec![Operation::read("x0")]));
+        assert!(result.committed());
     }
 
     #[test]

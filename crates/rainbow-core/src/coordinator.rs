@@ -21,9 +21,10 @@
 //! spec through this same conversation; there is no second execution path.
 
 use crate::messages::{CopyAccessResult, Msg, NextOp, OpReply};
-use crate::site::{janitor_horizon, SiteShared};
+use crate::site::SiteShared;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
 use rainbow_commit::{Coordinator, CoordinatorAction, Decision, Vote};
+use rainbow_common::history::{ReadObservation, TxnRecord, WriteRecord};
 use rainbow_common::txn::{AbortCause, TxnOutcome, TxnResult};
 use rainbow_common::{ItemId, SiteId, Timestamp, TxnId, Value, Version};
 use rainbow_net::{Envelope, NodeId};
@@ -82,10 +83,19 @@ struct TxnExecution {
     /// free, as in the paper's message accounting; client conversation round
     /// trips are excluded, like `SubmitTxn` round trips were).
     messages: u64,
+    /// Whether the cluster records transaction histories; when false the
+    /// two vectors below stay empty and untouched (the default).
+    record_history: bool,
+    /// Every read with its observed version, in execution order — the
+    /// history footprint the serializability checker consumes.
+    observed: Vec<ReadObservation>,
+    /// Every write with its installed version, in client order (filled when
+    /// the staged writes are folded at commit).
+    installed: Vec<WriteRecord>,
 }
 
 impl TxnExecution {
-    fn new(txn: TxnId, ts: Timestamp) -> Self {
+    fn new(txn: TxnId, ts: Timestamp, record_history: bool) -> Self {
         TxnExecution {
             txn,
             ts,
@@ -95,6 +105,31 @@ impl TxnExecution {
             touched: BTreeSet::new(),
             contacted: BTreeSet::new(),
             messages: 0,
+            record_history,
+            observed: Vec::new(),
+            installed: Vec::new(),
+        }
+    }
+
+    /// Records one read observation (history recording only).
+    fn observe_read(&mut self, item: &ItemId, value: &Value, version: Version) {
+        if self.record_history {
+            self.observed.push(ReadObservation {
+                item: item.clone(),
+                value: value.clone(),
+                version,
+            });
+        }
+    }
+
+    /// Records one installed write (history recording only).
+    fn observe_write(&mut self, item: &ItemId, value: &Value, version: Version) {
+        if self.record_history {
+            self.installed.push(WriteRecord {
+                item: item.clone(),
+                value: value.clone(),
+                version,
+            });
         }
     }
 }
@@ -123,7 +158,10 @@ pub(crate) fn run_interactive(
     shared.register_reply_channel(txn, reply_tx);
     shared.send(client, Msg::TxnBegan { request, txn });
 
-    let mut exec = TxnExecution::new(txn, ts);
+    if let Some(sink) = shared.history.as_ref() {
+        sink.begin();
+    }
+    let mut exec = TxnExecution::new(txn, ts, shared.history.is_some());
     let outcome = drive_conversation(&shared, &mut exec, &reply_rx);
     release_stragglers(&shared, &mut exec);
 
@@ -131,6 +169,21 @@ pub(crate) fn run_interactive(
 
     if outcome.is_committed() {
         shared.decided.lock().insert(txn, Decision::Commit);
+    }
+
+    // The coordinator is the authoritative observer: it records the real
+    // outcome even when the driving client timed out and reported an
+    // orphan. Spec replay and interactive conversations both run through
+    // this single path, so their histories are identical by construction.
+    if let Some(sink) = shared.history.as_ref() {
+        sink.record(TxnRecord {
+            txn,
+            label: label.clone(),
+            reads: std::mem::take(&mut exec.observed),
+            writes: std::mem::take(&mut exec.installed),
+            outcome: outcome.clone(),
+            completion_seq: 0,
+        });
     }
 
     let result = TxnResult {
@@ -157,7 +210,7 @@ fn drive_conversation(
     // presuming the client gone and aborting. Deliberately the same horizon
     // the participant janitor uses, so a vanished client frees resources
     // everywhere on the same clock.
-    let horizon = janitor_horizon(&shared.stack);
+    let horizon = shared.stack.janitor_horizon();
     let mut last_activity = Instant::now();
     loop {
         if shared.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
@@ -191,7 +244,8 @@ fn drive_conversation(
                             .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })
                     },
                 ) {
-                    Ok((value, _)) => {
+                    Ok((value, version)) => {
+                        exec.observe_read(&item, &value, version);
                         exec.reads.insert(item.clone(), value.clone());
                         shared.send(
                             client,
@@ -289,9 +343,10 @@ fn read_many(
     };
     let mut values = Vec::with_capacity(items.len());
     for (item, collector) in items.iter().zip(collectors) {
-        let (value, _) = collector
+        let (value, version) = collector
             .latest_value()
             .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
+        exec.observe_read(item, &value, version);
         exec.reads.insert(item.clone(), value.clone());
         values.push((item.clone(), value));
     }
@@ -309,10 +364,11 @@ fn interactive_increment(
     delta: i64,
 ) -> Result<Value, AbortCause> {
     let collector = single_quorum(shared, exec, replies, item, QuorumAccess::ReadForUpdate)?;
-    let (current, _) = collector
+    let (current, observed_version) = collector
         .latest_value()
         .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })?;
     let new_value = current.add_int(delta).ok_or(AbortCause::UserAbort)?;
+    exec.observe_read(item, &current, observed_version);
     exec.reads.insert(item.clone(), current.clone());
     let version = new_write_version(shared, exec, &collector);
     exec.staged.push(StagedWrite::Assembled {
@@ -375,6 +431,7 @@ fn install_staged_writes(
                     .next()
                     .expect("one collector per deferred write");
                 let version = new_write_version(shared, exec, &collector);
+                exec.observe_write(&item, &value, version);
                 for site in collector.responders() {
                     exec.writes_per_site.entry(site).or_default().push((
                         item.clone(),
@@ -389,6 +446,7 @@ fn install_staged_writes(
                 sites,
                 version,
             } => {
+                exec.observe_write(&item, &value, version);
                 for site in sites {
                     exec.writes_per_site.entry(site).or_default().push((
                         item.clone(),

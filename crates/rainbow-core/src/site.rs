@@ -22,6 +22,7 @@ use parking_lot::{Mutex, RwLock};
 use rainbow_cc::{make_ccp, CcDecision, CcProtocol, TxnContext};
 use rainbow_commit::{Decision, Participant, ParticipantAction, ParticipantState, Vote};
 use rainbow_common::config::DatabaseSchema;
+use rainbow_common::history::HistorySink;
 use rainbow_common::protocol::ProtocolStack;
 use rainbow_common::{
     ItemId, RainbowError, RainbowResult, SiteId, Timestamp, TimestampGenerator, TxnId, Value,
@@ -73,6 +74,11 @@ pub(crate) struct SiteShared {
     pub txn_seq: AtomicU64,
     pub clock: TimestampGenerator,
     pub shutdown: Arc<AtomicBool>,
+    /// The cluster-wide history sink the chaos laboratory snoops on, when
+    /// history recording is enabled. `None` (the default) keeps every
+    /// recording branch in the coordinator dead, so the hot path pays
+    /// nothing.
+    pub history: Option<Arc<HistorySink>>,
 }
 
 impl SiteShared {
@@ -123,12 +129,15 @@ pub struct SiteHandle {
 
 impl SiteHandle {
     /// Spawns a site that first fetches its schema from the name server.
+    /// `history` is the cluster-wide transaction-history sink, `None` when
+    /// recording is disabled.
     pub fn spawn(
         id: SiteId,
         stack: ProtocolStack,
         net: NetHandle<Msg>,
         mailbox: Receiver<Envelope<Msg>>,
         metrics: Arc<SiteMetrics>,
+        history: Option<Arc<HistorySink>>,
     ) -> RainbowResult<Self> {
         let node = NodeId::Site(id);
         // Ask the name server for the schema before serving anything.
@@ -152,7 +161,7 @@ impl SiteHandle {
             RainbowError::Timeout(format!("site {id} could not fetch the schema"))
         })?;
         Ok(Self::spawn_with_schema(
-            id, stack, schema, net, mailbox, metrics,
+            id, stack, schema, net, mailbox, metrics, history,
         ))
     }
 
@@ -165,6 +174,7 @@ impl SiteHandle {
         net: NetHandle<Msg>,
         mailbox: Receiver<Envelope<Msg>>,
         metrics: Arc<SiteMetrics>,
+        history: Option<Arc<HistorySink>>,
     ) -> Self {
         let storage = SiteStorage::new(id);
         let local_items: Vec<(ItemId, Value)> = schema
@@ -201,6 +211,7 @@ impl SiteHandle {
             txn_seq: AtomicU64::new(0),
             clock: TimestampGenerator::new(id),
             shutdown: Arc::new(AtomicBool::new(false)),
+            history,
         });
 
         let dispatcher_shared = Arc::clone(&shared);
@@ -269,12 +280,21 @@ impl SiteHandle {
         // Volatile state is gone.
         shared.storage.crash();
         let outcome = shared.storage.recover();
-        // Fresh CCP: every lock and timestamp table entry was volatile.
-        *shared.ccp.write() = make_ccp(
+        // Fresh CCP: every lock and timestamp table entry was volatile. The
+        // replacement gets a recovery floor at the site's current logical
+        // time — the clock observed the timestamp of every access granted
+        // before the crash, so rejecting everything older conservatively
+        // restores the rts/wts rejection surface the crash erased (without
+        // it, a recovered site can admit an old write it had already
+        // ordered a younger read past — a serializability violation the
+        // chaos harness reproduces).
+        let ccp = make_ccp(
             shared.stack.ccp,
             shared.stack.deadlock,
             shared.stack.lock_wait_timeout,
         );
+        ccp.install_recovery_floor(Timestamp::new(shared.clock.now(), shared.id.0));
+        *shared.ccp.write() = ccp;
         shared.participants.lock().clear();
         // Ask each in-doubt transaction's coordinator for the decision.
         let mut in_doubt = shared.in_doubt.lock();
@@ -286,6 +306,27 @@ impl SiteHandle {
                 Msg::AcpStatusQuery { txn: txn.txn },
             );
         }
+    }
+
+    /// Installs committed copies fetched from live peers — the catch-up
+    /// ("copier") half of crash recovery for read-one replication protocols
+    /// (Available Copies, Primary Copy), driven by the cluster. Only copies
+    /// newer than the local ones are installed; returns how many were.
+    pub fn repair_copies(&self, copies: &[(ItemId, Value, Version)]) -> usize {
+        self.shared.storage.repair_copies(copies)
+    }
+
+    /// Jumps this site's logical clock `ticks` ahead of its current value —
+    /// the nemesis "clock skew" fault. Lamport clocks tolerate arbitrary
+    /// forward jumps by construction; the skew stresses timestamp-ordering
+    /// CCPs (transactions from the skewed site suddenly carry much larger
+    /// timestamps, aborting concurrent old-timestamp transactions).
+    pub fn skew_clock(&self, ticks: u64) {
+        let clock = &self.shared.clock;
+        clock.observe(Timestamp::new(
+            clock.now().saturating_add(ticks),
+            self.shared.id.0,
+        ));
     }
 
     /// Stops the dispatcher thread. Outstanding transaction workers finish
@@ -302,13 +343,6 @@ impl Drop for SiteHandle {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-/// How long a participant entry may sit idle before the janitor aborts it
-/// (its coordinator is presumed dead). The coordinator's conversation loop
-/// uses the same horizon for clients that stop driving an open transaction.
-pub(crate) fn janitor_horizon(stack: &ProtocolStack) -> Duration {
-    (stack.commit_timeout + stack.quorum_timeout + stack.lock_wait_timeout) * 3
 }
 
 fn dispatcher_loop(shared: Arc<SiteShared>, mailbox: Receiver<Envelope<Msg>>) {
@@ -692,7 +726,7 @@ fn apply_decision(shared: &Arc<SiteShared>, ctx: &TxnContext, decision: Decision
 /// for the decision (cooperative termination); working participants are
 /// aborted unilaterally.
 fn run_janitor(shared: &Arc<SiteShared>) {
-    let horizon = janitor_horizon(&shared.stack);
+    let horizon = shared.stack.janitor_horizon();
     let now = Instant::now();
     let mut stale_working: Vec<(TxnId, TxnContext)> = Vec::new();
     let mut stale_prepared: Vec<(TxnId, NodeId)> = Vec::new();
@@ -727,6 +761,15 @@ fn run_janitor(shared: &Arc<SiteShared>) {
     for (txn, coordinator) in stale_prepared {
         shared.send(coordinator, Msg::AcpStatusQuery { txn });
     }
+    // In-doubt transactions found during crash recovery keep asking their
+    // coordinator until an answer arrives. The initial query (sent inside
+    // `recover_from_crash`) is dropped whenever the fault controller still
+    // marks this site crashed — the normal recovery order — so without this
+    // retry an in-doubt commit could stay uninstalled forever.
+    let in_doubt: Vec<TxnId> = shared.in_doubt.lock().keys().copied().collect();
+    for txn in in_doubt {
+        shared.send(NodeId::Site(txn.home), Msg::AcpStatusQuery { txn });
+    }
 }
 
 #[cfg(test)]
@@ -748,6 +791,7 @@ mod tests {
             net.handle(),
             mailbox,
             Arc::new(SiteMetrics::new()),
+            None,
         )
     }
 

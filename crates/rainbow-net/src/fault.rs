@@ -141,9 +141,22 @@ impl FaultController {
         !self.is_crashed(from) && !self.is_crashed(to) && !self.is_partitioned(from, to)
     }
 
-    /// Clears every fault (crashes and partitions).
+    /// Clears every fault (crashes and partitions), keeping the injection
+    /// counters consistent: each crashed node removed here counts as a
+    /// recovery, exactly as if [`FaultController::recover`] had been called
+    /// for it. The nemesis harness audits its runs with
+    /// `injected_crashes == injected_recoveries` after a clear-all, so the
+    /// accounting must be exact. (`injected_partitions` counts partition
+    /// *events* and is unaffected by healing, which has no counter.)
     pub fn clear(&self) {
-        self.crashed.write().clear();
+        let mut crashed = self.crashed.write();
+        let recovered = crashed.len() as u64;
+        crashed.clear();
+        drop(crashed);
+        if recovered > 0 {
+            self.injected_recoveries
+                .fetch_add(recovered, Ordering::Relaxed);
+        }
         self.partition.write().clear();
     }
 
@@ -246,6 +259,24 @@ mod tests {
         f.clear();
         assert!(!f.is_crashed(NodeId::site(0)));
         assert!(!f.is_partitioned(NodeId::site(1), NodeId::site(2)));
+    }
+
+    #[test]
+    fn clear_keeps_crash_and_recovery_counters_balanced() {
+        let f = FaultController::new();
+        f.crash(NodeId::site(0));
+        f.crash(NodeId::site(1));
+        f.recover(NodeId::site(0));
+        f.partition(&[vec![NodeId::site(2)]]);
+        f.clear();
+        // Clearing site 1's crash counted as a recovery: after a clear-all,
+        // every injected crash has a matching recovery on record.
+        assert_eq!(f.injected_crashes(), 2);
+        assert_eq!(f.injected_recoveries(), 2);
+        // A clear with nothing crashed adds no phantom recoveries.
+        f.clear();
+        assert_eq!(f.injected_recoveries(), 2);
+        assert_eq!(f.injected_partitions(), 1, "partition events stay counted");
     }
 
     #[test]

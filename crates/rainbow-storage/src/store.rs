@@ -103,20 +103,36 @@ impl VersionedStore {
             .unwrap_or_default()
     }
 
+    /// Installs one committed write under the Thomas write rule: a copy
+    /// never regresses to an older version. Timestamp-ordering stacks can
+    /// commit two writers of the same item in version order but deliver
+    /// their decisions in the opposite order; without the guard the later
+    /// decision would overwrite the younger value with the older one.
+    fn install_copy(&mut self, item: &ItemId, value: &Value, version: Version) {
+        match self.copies.get(item) {
+            Some(current) if current.version > version => {}
+            _ => {
+                self.copies.insert(
+                    item.clone(),
+                    CopyState {
+                        value: value.clone(),
+                        version,
+                    },
+                );
+            }
+        }
+    }
+
     /// Installs the staged writes of a transaction into the committed state
-    /// and clears its staging area. Returns the installed writes (sorted by
-    /// item name, matching [`VersionedStore::staged_writes`]).
+    /// and clears its staging area. Returns the transaction's writes (sorted
+    /// by item name, matching [`VersionedStore::staged_writes`]) — including
+    /// any skipped by the Thomas-write-rule guard, since the transaction
+    /// still logically wrote them.
     pub fn install(&mut self, txn: &TxnId) -> Vec<(ItemId, Value, Version)> {
         let writes = self.staged.remove(txn).unwrap_or_default();
         let mut installed = Vec::with_capacity(writes.len());
         for (item, (value, version)) in writes {
-            self.copies.insert(
-                item.clone(),
-                CopyState {
-                    value: value.clone(),
-                    version,
-                },
-            );
+            self.install_copy(&item, &value, version);
             installed.push((item, value, version));
         }
         installed.sort_by(|a, b| a.0.cmp(&b.0));
@@ -124,22 +140,30 @@ impl VersionedStore {
     }
 
     /// Installs externally supplied writes (used by recovery when replaying
-    /// commit records).
+    /// commit records, and by in-doubt resolution), under the same
+    /// no-regression guard as [`VersionedStore::install`].
     pub fn install_writes(&mut self, writes: &[(ItemId, Value, Version)]) {
         for (item, value, version) in writes {
-            self.copies.insert(
-                item.clone(),
-                CopyState {
-                    value: value.clone(),
-                    version: *version,
-                },
-            );
+            self.install_copy(item, value, *version);
         }
     }
 
     /// Discards the staged writes of a transaction.
     pub fn discard(&mut self, txn: &TxnId) {
         self.staged.remove(txn);
+    }
+
+    /// Installs a committed copy fetched from a peer during recovery
+    /// catch-up (the Available Copies "copier" step), but only when it is
+    /// newer than the local copy. Returns whether anything changed.
+    pub fn repair(&mut self, item: ItemId, value: Value, version: Version) -> bool {
+        match self.copies.get(&item) {
+            Some(current) if current.version >= version => false,
+            _ => {
+                self.copies.insert(item, CopyState { value, version });
+                true
+            }
+        }
     }
 
     /// Transactions that currently have staged writes (sorted).
@@ -298,6 +322,26 @@ impl SiteStorage {
         self.log.append(LogRecord::Abort { txn });
     }
 
+    /// Installs committed copies fetched from live peers during recovery
+    /// catch-up, keeping only those newer than the local copy, and (when
+    /// anything changed) checkpoints so the repair survives a further crash.
+    /// Returns the number of copies repaired.
+    pub fn repair_copies(&self, copies: &[(ItemId, Value, Version)]) -> usize {
+        let repaired = {
+            let mut store = self.store.write();
+            copies
+                .iter()
+                .filter(|(item, value, version)| {
+                    store.repair(item.clone(), value.clone(), *version)
+                })
+                .count()
+        };
+        if repaired > 0 {
+            self.checkpoint();
+        }
+        repaired
+    }
+
     /// Writes a checkpoint of the committed state and compacts the log.
     pub fn checkpoint(&self) {
         let snapshot = self.store.read().snapshot();
@@ -380,6 +424,28 @@ mod tests {
             (Value::Int(42), Version(1))
         );
         assert!(store.staged_writes(&txn(1)).is_empty());
+    }
+
+    #[test]
+    fn installs_never_regress_a_copy_to_an_older_version() {
+        let mut store = VersionedStore::new();
+        store.create(item("x"), Value::Int(0));
+        // The younger write's decision arrives first...
+        store.stage(txn(2), item("x"), Value::Int(20), Version(2));
+        store.install(&txn(2));
+        // ...then the older write's: the copy must keep the younger value.
+        store.stage(txn(1), item("x"), Value::Int(10), Version(1));
+        let writes = store.install(&txn(1));
+        assert_eq!(writes.len(), 1, "the write is still reported");
+        assert_eq!(
+            store.read(&item("x")).unwrap(),
+            (Value::Int(20), Version(2))
+        );
+        store.install_writes(&[(item("x"), Value::Int(5), Version(1))]);
+        assert_eq!(
+            store.read(&item("x")).unwrap(),
+            (Value::Int(20), Version(2))
+        );
     }
 
     #[test]
@@ -520,6 +586,45 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert!(snap.contains(&(item("a"), Value::Int(1), Version(0))));
         assert!(snap.contains(&(item("b"), Value::Int(2), Version(0))));
+    }
+
+    #[test]
+    fn repair_installs_only_newer_copies_and_survives_crash() {
+        let storage = SiteStorage::new(SiteId(0));
+        storage.initialize(&[(item("x"), Value::Int(0)), (item("y"), Value::Int(1))]);
+        // Simulate a committed local write at version 2.
+        let t = txn(1);
+        storage.stage_write(t, item("y"), Value::Int(5), Version(2));
+        storage.prepare(t);
+        storage.commit(t);
+
+        let repaired = storage.repair_copies(&[
+            (item("x"), Value::Int(9), Version(3)), // newer: installed
+            (item("y"), Value::Int(4), Version(1)), // older: kept as-is
+        ]);
+        assert_eq!(repaired, 1);
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(9), Version(3))
+        );
+        assert_eq!(
+            storage.read(&item("y")).unwrap(),
+            (Value::Int(5), Version(2))
+        );
+
+        // The repair was checkpointed: it survives a crash.
+        storage.crash();
+        storage.recover();
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(9), Version(3))
+        );
+
+        // A no-op repair pass reports zero.
+        assert_eq!(
+            storage.repair_copies(&[(item("x"), Value::Int(9), Version(3))]),
+            0
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn figure2_topology_multiple_sites_per_host() {
         stack: stack(),
         network: NetworkConfig::perfect(),
         client_timeout: Duration::from_secs(5),
+        record_history: false,
     };
     let cluster = Cluster::start(config).unwrap();
     assert_eq!(cluster.site_ids().len(), 4);
@@ -104,6 +105,7 @@ fn per_link_latency_overrides_shape_response_times() {
         stack: stack(),
         network,
         client_timeout: Duration::from_secs(5),
+        record_history: false,
     };
     let cluster = Cluster::start(config).unwrap();
 
@@ -137,6 +139,7 @@ fn partial_replication_places_copies_only_at_declared_holders() {
         stack: stack(),
         network: NetworkConfig::perfect(),
         client_timeout: Duration::from_secs(5),
+        record_history: false,
     };
     let cluster = Cluster::start(config).unwrap();
 
