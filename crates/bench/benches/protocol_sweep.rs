@@ -4,7 +4,9 @@
 //! all five replication protocols (ROWA, QC, AC, TQ, PC) and the standard
 //! fault scenarios (healthy, one site down, partitioned minority), printing
 //! one table row per cell and writing the machine-readable results to
-//! `BENCH_protocols.json` at the repo root.
+//! `BENCH_protocols.json` at the repo root, with the per-phase latency
+//! breakdown of every cell (lock-wait, quorum-read, prepare, commit-apply,
+//! wal-force, queue-delay) in `BENCH_phases.json` alongside it.
 //!
 //! Expected shape of the results:
 //!
@@ -22,7 +24,9 @@
 //! CI smoke run; quick runs still cover the full grid with fewer
 //! transactions per cell).
 
-use rainbow_control::{run_protocol_sweep, sweep_table, sweep_to_json, FaultScenario, SweepConfig};
+use rainbow_control::{
+    phases_to_json, run_protocol_sweep, sweep_table, sweep_to_json, FaultScenario, SweepConfig,
+};
 use rainbow_wlg::WorkloadProfile;
 
 fn main() {
@@ -71,5 +75,12 @@ fn main() {
     match std::fs::write(out, &json) {
         Ok(()) => println!("results written to BENCH_protocols.json"),
         Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+
+    let phases_json = phases_to_json(&report).expect("serialize phase breakdown");
+    let phases_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phases.json");
+    match std::fs::write(phases_out, &phases_json) {
+        Ok(()) => println!("phase breakdown written to BENCH_phases.json"),
+        Err(e) => eprintln!("could not write {phases_out}: {e}"),
     }
 }

@@ -44,6 +44,10 @@ pub struct LatencyStats {
     pub p95_us: u64,
     /// 99th percentile in microseconds.
     pub p99_us: u64,
+    /// 99.9th percentile in microseconds.
+    pub p999_us: u64,
+    /// Standard deviation in microseconds (population stddev).
+    pub stddev_us: f64,
 }
 
 impl LatencyStats {
@@ -59,18 +63,31 @@ impl LatencyStats {
         micros.sort_unstable();
         let count = micros.len() as u64;
         let sum: u128 = micros.iter().map(|&v| v as u128).sum();
+        let mean = sum as f64 / count as f64;
+        let variance = micros
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
+        // Nearest-rank percentile: the smallest sample such that at least
+        // p·n samples are ≤ it, i.e. the sample at rank ⌈p·n⌉ (1-based).
         let pct = |p: f64| -> u64 {
-            let idx = ((micros.len() as f64 - 1.0) * p).round() as usize;
-            micros[idx.min(micros.len() - 1)]
+            let rank = (p * micros.len() as f64).ceil().max(1.0) as usize;
+            micros[rank.min(micros.len()) - 1]
         };
         LatencyStats {
             count,
-            mean_us: sum as f64 / count as f64,
+            mean_us: mean,
             min_us: micros[0],
             max_us: *micros.last().unwrap(),
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
+            p999_us: pct(0.999),
+            stddev_us: variance.sqrt(),
         }
     }
 
@@ -207,6 +224,10 @@ pub struct StatsSnapshot {
     pub elapsed_secs: f64,
     /// Load balance indicators.
     pub load: LoadBalance,
+    /// Per-phase latency breakdown (lock wait, quorum read RTT, prepare,
+    /// commit apply, WAL force, network queue delay), keyed by the phase
+    /// name. Populated only when tracing is enabled; empty otherwise.
+    pub phases: BTreeMap<String, LatencyStats>,
 }
 
 impl StatsSnapshot {
@@ -289,33 +310,14 @@ impl StatsSnapshot {
         self.aborts.merge(&other.aborts);
         self.messages.merge(&other.messages);
         self.elapsed_secs = self.elapsed_secs.max(other.elapsed_secs);
-        // Latency merge: weighted mean, envelope min/max, percentiles from the
-        // larger population.
-        let total = self.response_time.count + other.response_time.count;
-        if total > 0 {
-            let weighted_mean = (self.response_time.mean_us * self.response_time.count as f64
-                + other.response_time.mean_us * other.response_time.count as f64)
-                / total as f64;
-            let larger = if other.response_time.count > self.response_time.count {
-                other.response_time.clone()
-            } else {
-                self.response_time.clone()
-            };
-            self.response_time = LatencyStats {
-                count: total,
-                mean_us: weighted_mean,
-                min_us: if self.response_time.count == 0 {
-                    other.response_time.min_us
-                } else if other.response_time.count == 0 {
-                    self.response_time.min_us
-                } else {
-                    self.response_time.min_us.min(other.response_time.min_us)
-                },
-                max_us: self.response_time.max_us.max(other.response_time.max_us),
-                p50_us: larger.p50_us,
-                p95_us: larger.p95_us,
-                p99_us: larger.p99_us,
-            };
+        merge_latency_approx(&mut self.response_time, &other.response_time);
+        for (phase, stats) in &other.phases {
+            match self.phases.get_mut(phase) {
+                Some(mine) => merge_latency_approx(mine, stats),
+                None => {
+                    self.phases.insert(phase.clone(), stats.clone());
+                }
+            }
         }
         for (site, count) in &other.load.home_transactions {
             *self.load.home_transactions.entry(*site).or_insert(0) += count;
@@ -324,6 +326,41 @@ impl StatsSnapshot {
             *self.load.served_requests.entry(*site).or_insert(0) += count;
         }
     }
+}
+
+/// Approximate merge of two latency summaries: weighted mean, envelope
+/// min/max, percentiles and stddev kept from the larger population. Exact
+/// merging needs the underlying histograms (see `rainbow-trace`); snapshot
+/// consumers only ever merge already-summarized views.
+fn merge_latency_approx(into: &mut LatencyStats, other: &LatencyStats) {
+    let total = into.count + other.count;
+    if total == 0 {
+        return;
+    }
+    let weighted_mean =
+        (into.mean_us * into.count as f64 + other.mean_us * other.count as f64) / total as f64;
+    let larger = if other.count > into.count {
+        other.clone()
+    } else {
+        into.clone()
+    };
+    *into = LatencyStats {
+        count: total,
+        mean_us: weighted_mean,
+        min_us: if into.count == 0 {
+            other.min_us
+        } else if other.count == 0 {
+            into.min_us
+        } else {
+            into.min_us.min(other.min_us)
+        },
+        max_us: into.max_us.max(other.max_us),
+        p50_us: larger.p50_us,
+        p95_us: larger.p95_us,
+        p99_us: larger.p99_us,
+        p999_us: larger.p999_us,
+        stddev_us: larger.stddev_us,
+    };
 }
 
 #[cfg(test)]
@@ -360,6 +397,44 @@ mod tests {
         assert_eq!(stats.min_us, 7_000);
         assert_eq!(stats.max_us, 7_000);
         assert_eq!(stats.p99_us, 7_000);
+        assert_eq!(stats.p999_us, 7_000);
+        assert_eq!(stats.stddev_us, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_proper_nearest_rank() {
+        // With n = 100 uniform samples the nearest-rank percentile is the
+        // ⌈p·n⌉-th smallest sample — no interpolation, no rounding up past
+        // the rank. The old rounded-index formula gave p95 = 96ms here.
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.p50_us, 50_000);
+        assert_eq!(stats.p95_us, 95_000);
+        assert_eq!(stats.p99_us, 99_000);
+        assert_eq!(stats.p999_us, 100_000);
+        // Population stddev of 1..=100 ms is √((100² − 1)/12) ≈ 28.866 ms.
+        assert!((stats.stddev_us - 28_866.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_phase_breakdowns() {
+        let mut a = StatsSnapshot::default();
+        a.phases
+            .insert("lock-wait".into(), LatencyStats::from_samples(&[ms(2)]));
+        let mut b = StatsSnapshot::default();
+        b.phases.insert(
+            "lock-wait".into(),
+            LatencyStats::from_samples(&[ms(4), ms(6)]),
+        );
+        b.phases
+            .insert("wal-force".into(), LatencyStats::from_samples(&[ms(1)]));
+        a.merge(&b);
+        let lock = &a.phases["lock-wait"];
+        assert_eq!(lock.count, 3);
+        assert_eq!(lock.min_us, 2_000);
+        assert_eq!(lock.max_us, 6_000);
+        assert!((lock.mean_us - 4_000.0).abs() < 1.0);
+        assert_eq!(a.phases["wal-force"].count, 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use rainbow_common::protocol::ProtocolStack;
 use rainbow_common::{RainbowError, RainbowResult};
 use rainbow_core::ClusterConfig;
 use rainbow_net::NetworkConfig;
+use rainbow_trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Duration;
@@ -34,6 +35,10 @@ pub struct SessionConfig {
     /// outcome) into a cluster-wide history for the serializability
     /// checker. Off by default — the hot path pays nothing.
     pub record_history: bool,
+    /// End-to-end tracing: span trees and per-phase latency histograms.
+    /// Disabled by default — no tracer is constructed and the
+    /// instrumentation compiles down to `None` checks.
+    pub tracing: TraceConfig,
 }
 
 impl Default for SessionConfig {
@@ -46,6 +51,7 @@ impl Default for SessionConfig {
             client_timeout_ms: 10_000,
             seed: 42,
             record_history: false,
+            tracing: TraceConfig::disabled(),
         }
     }
 }
@@ -60,6 +66,7 @@ impl SessionConfig {
             network: self.network.clone(),
             client_timeout: Duration::from_millis(self.client_timeout_ms),
             record_history: self.record_history,
+            tracing: self.tracing.clone(),
         }
     }
 

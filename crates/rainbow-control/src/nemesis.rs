@@ -26,17 +26,19 @@
 //! harness bug but a protocol lesson; the checker turns that lesson into a
 //! reproducible red verdict, which is exactly what a laboratory is for.
 
-use rainbow_check::{check_history, CheckReport};
+use rainbow_check::{check_history, CheckReport, Violation};
 use rainbow_common::config::{DatabaseSchema, DistributionSchema};
 use rainbow_common::history::History;
 use rainbow_common::protocol::{CcpKind, ProtocolStack, RcpKind};
 use rainbow_common::rng::{derive_seed, seeded_rng};
-use rainbow_common::{RainbowResult, SiteId};
+use rainbow_common::{RainbowResult, SiteId, TxnId};
 use rainbow_core::{Cluster, ClusterConfig};
 use rainbow_net::NetworkConfig;
+use rainbow_trace::{ascii_span_tree, TraceConfig};
 use rainbow_wlg::{InteractiveProfile, WorkloadGenerator, WorkloadProfile};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -296,6 +298,11 @@ pub struct NemesisReport {
     pub history: History,
     /// The checker's verdict.
     pub check: CheckReport,
+    /// ASCII span trees of every transaction implicated in a violation,
+    /// keyed by transaction id — the forensic view uploaded next to the
+    /// verdict so a failing seed shows *where* the anomalous transactions
+    /// spent their time. Empty for passing runs.
+    pub anomaly_traces: BTreeMap<String, String>,
 }
 
 impl NemesisReport {
@@ -364,6 +371,10 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
         network: NetworkConfig::perfect(),
         client_timeout: config.client_timeout,
         record_history: true,
+        // Trace every transaction: which ones turn out anomalous is only
+        // known after the checker runs, and failed seeds must ship their
+        // span trees.
+        tracing: TraceConfig::sample_all(),
     })?;
 
     let schedule = generate_schedule(config, seed);
@@ -426,6 +437,20 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
     let (committed, aborted, orphaned) = history.outcome_counts();
     let check = check_history(&history);
 
+    let mut anomaly_traces = BTreeMap::new();
+    if let Some(tracer) = cluster.tracer() {
+        let mut anomalous: BTreeSet<TxnId> = BTreeSet::new();
+        for violation in &check.violations {
+            anomalous.extend(violation_txns(violation));
+        }
+        for txn in anomalous {
+            let events = tracer.txn_events(txn);
+            if !events.is_empty() {
+                anomaly_traces.insert(txn.to_string(), ascii_span_tree(&events));
+            }
+        }
+    }
+
     Ok(NemesisReport {
         seed,
         stack: config.stack.label(),
@@ -436,7 +461,20 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
         orphaned,
         history,
         check,
+        anomaly_traces,
     })
+}
+
+/// The transactions a violation implicates — the ones whose span trees are
+/// attached to a failing report.
+fn violation_txns(violation: &Violation) -> Vec<TxnId> {
+    match violation {
+        Violation::DirtyRead { reader, writer, .. } => vec![*reader, *writer],
+        Violation::UnknownVersion { reader, .. } => vec![*reader],
+        Violation::ValueMismatch { reader, .. } => vec![*reader],
+        Violation::ConflictingVersions { writers, .. } => writers.clone(),
+        Violation::Cycle { steps } => steps.iter().map(|s| s.txn).collect(),
+    }
 }
 
 #[cfg(test)]

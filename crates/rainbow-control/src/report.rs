@@ -11,6 +11,8 @@ use crate::runners::SweepReport;
 use rainbow_common::stats::StatsSnapshot;
 use rainbow_common::txn::AbortLayer;
 use rainbow_common::{RainbowError, RainbowResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Renders the Figure-5-style transaction processing output panel.
@@ -79,6 +81,20 @@ pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
         "load imbalance (cv)         : {:.3}",
         stats.load.imbalance()
     );
+    if !stats.phases.is_empty() {
+        let _ = writeln!(out, "phase latency p50/p95/p99/p999 (ms):");
+        for (name, phase) in &stats.phases {
+            let _ = writeln!(
+                out,
+                "  {name:<12} {:.3} / {:.3} / {:.3} / {:.3}  (n={})",
+                phase.p50_us as f64 / 1000.0,
+                phase.p95_us as f64 / 1000.0,
+                phase.p99_us as f64 / 1000.0,
+                phase.p999_us as f64 / 1000.0,
+                phase.count
+            );
+        }
+    }
     if !stats.messages.by_kind.is_empty() {
         let _ = writeln!(out, "messages by kind:");
         for (kind, count) in &stats.messages.by_kind {
@@ -92,22 +108,27 @@ pub fn render_stats_panel(title: &str, stats: &StatsSnapshot) -> String {
 /// (protocol, workload, fault) cell with the availability and latency
 /// columns the replication experiments compare.
 pub fn sweep_table(title: &str, report: &SweepReport) -> ExperimentTable {
-    let mut table = ExperimentTable::new(
-        title,
-        &[
-            "RCP",
-            "workload",
-            "fault",
-            "commit%",
-            "committed",
-            "aborted",
-            "orphans",
-            "rt-p50 ms",
-            "rt-p95 ms",
-            "msgs/txn",
-            "top abort cause",
-        ],
-    );
+    let mut headers = vec![
+        "RCP",
+        "workload",
+        "fault",
+        "commit%",
+        "committed",
+        "aborted",
+        "orphans",
+        "rt-p50 ms",
+        "rt-p95 ms",
+        "msgs/txn",
+        "top abort cause",
+    ];
+    // Per-phase p95 columns, in breakdown order. Cells measured without
+    // tracing render "-".
+    let phase_headers: Vec<String> = rainbow_trace::Phase::ALL
+        .iter()
+        .map(|p| format!("{} p95 ms", p.name()))
+        .collect();
+    headers.extend(phase_headers.iter().map(|h| h.as_str()));
+    let mut table = ExperimentTable::new(title, &headers);
     for cell in &report.cells {
         let top_cause = cell
             .abort_causes
@@ -115,7 +136,7 @@ pub fn sweep_table(title: &str, report: &SweepReport) -> ExperimentTable {
             .max_by_key(|(_, count)| **count)
             .map(|(cause, count)| format!("{cause} ({count})"))
             .unwrap_or_else(|| "-".into());
-        table.row(&[
+        let mut row = vec![
             cell.protocol.clone(),
             cell.profile.clone(),
             cell.fault.clone(),
@@ -127,7 +148,14 @@ pub fn sweep_table(title: &str, report: &SweepReport) -> ExperimentTable {
             format!("{:.2}", cell.latency.p95_ms),
             format!("{:.1}", cell.messages_per_txn),
             top_cause,
-        ]);
+        ];
+        for phase in rainbow_trace::Phase::ALL {
+            row.push(match cell.phases.get(phase.name()) {
+                Some(stats) => format!("{:.3}", stats.p95_us as f64 / 1000.0),
+                None => "-".into(),
+            });
+        }
+        table.row(&row);
     }
     table
 }
@@ -136,6 +164,72 @@ pub fn sweep_table(title: &str, report: &SweepReport) -> ExperimentTable {
 /// `BENCH_protocols.json`.
 pub fn sweep_to_json(report: &SweepReport) -> RainbowResult<String> {
     serde_json::to_string_pretty(report).map_err(|e| RainbowError::Serialization(e.to_string()))
+}
+
+/// One row of `BENCH_phases.json`: where a (protocol, workload, fault) cell
+/// spent its time, phase by phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdownCell {
+    /// Replication protocol (short name, e.g. `QC`).
+    pub protocol: String,
+    /// Workload profile name.
+    pub profile: String,
+    /// Fault scenario name.
+    pub fault: String,
+    /// Selected percentiles per phase, keyed by phase name.
+    pub phases: BTreeMap<String, PhasePercentiles>,
+}
+
+/// The percentiles `BENCH_phases.json` records for one phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhasePercentiles {
+    /// Number of samples behind the percentiles.
+    pub count: u64,
+    /// Median in microseconds.
+    pub p50_us: u64,
+    /// 95th percentile in microseconds.
+    pub p95_us: u64,
+    /// 99th percentile in microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile in microseconds.
+    pub p999_us: u64,
+}
+
+/// Extracts the per-phase latency breakdown of every sweep cell. Cells that
+/// ran with tracing disabled contribute an empty phase map.
+pub fn phase_breakdown(report: &SweepReport) -> Vec<PhaseBreakdownCell> {
+    report
+        .cells
+        .iter()
+        .map(|cell| PhaseBreakdownCell {
+            protocol: cell.protocol.clone(),
+            profile: cell.profile.clone(),
+            fault: cell.fault.clone(),
+            phases: cell
+                .phases
+                .iter()
+                .map(|(name, stats)| {
+                    (
+                        name.clone(),
+                        PhasePercentiles {
+                            count: stats.count,
+                            p50_us: stats.p50_us,
+                            p95_us: stats.p95_us,
+                            p99_us: stats.p99_us,
+                            p999_us: stats.p999_us,
+                        },
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Serializes the per-phase breakdown of a sweep to the pretty JSON written
+/// to `BENCH_phases.json`.
+pub fn phases_to_json(report: &SweepReport) -> RainbowResult<String> {
+    serde_json::to_string_pretty(&phase_breakdown(report))
+        .map_err(|e| RainbowError::Serialization(e.to_string()))
 }
 
 /// A fixed-width table used by the experiment binaries to print the series
@@ -297,6 +391,16 @@ mod tests {
                 p99_ms: 12.0,
             },
             messages_per_txn: 17.5,
+            phases: [(
+                "quorum-read".to_string(),
+                LatencyStats {
+                    count: 80,
+                    p95_us: 2500,
+                    ..Default::default()
+                },
+            )]
+            .into_iter()
+            .collect(),
         };
         let report = SweepReport {
             sites: 5,
@@ -312,6 +416,11 @@ mod tests {
         assert!(rendered.contains("1-site-down"));
         assert!(rendered.contains("90.0"));
         assert!(rendered.contains("rcp-quorum-unavailable (4)"));
+        // Phase columns: the measured quorum-read p95 in ms, "-" for the
+        // phases this cell has no histogram for.
+        assert!(rendered.contains("quorum-read p95 ms"));
+        assert!(rendered.contains("2.500"));
+        assert!(rendered.contains("wal-force p95 ms"));
 
         let json = sweep_to_json(&report).unwrap();
         assert!(json.contains("\"commit_rate\""));

@@ -11,9 +11,10 @@
 
 use crate::session::{Session, WorkloadReport};
 use rainbow_common::protocol::{ProtocolStack, RcpKind};
-use rainbow_common::stats::StatsSnapshot;
+use rainbow_common::stats::{LatencyStats, StatsSnapshot};
 use rainbow_common::txn::{AbortCause, TxnResult, TxnSpec};
 use rainbow_common::{ItemId, RainbowResult, SiteId, Value, Version};
+use rainbow_trace::TraceConfig;
 use rainbow_wlg::{ArrivalProcess, WorkloadParams, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -230,6 +231,10 @@ pub struct SweepConfig {
     /// Client timeout after which an unanswered transaction counts as an
     /// orphan. Kept short so cells with unreachable home sites finish.
     pub client_timeout: Duration,
+    /// Tracing configuration for every cell. Defaults to
+    /// [`TraceConfig::histograms_only`] so each cell records its per-phase
+    /// latency breakdown without storing span trees.
+    pub tracing: TraceConfig,
 }
 
 impl Default for SweepConfig {
@@ -249,6 +254,7 @@ impl Default for SweepConfig {
                 .with_quorum_timeout(Duration::from_millis(400))
                 .with_commit_timeout(Duration::from_millis(400)),
             client_timeout: Duration::from_millis(1500),
+            tracing: TraceConfig::histograms_only(),
         }
     }
 }
@@ -317,6 +323,10 @@ pub struct SweepCell {
     pub latency: LatencySummary,
     /// Messages per decided transaction.
     pub messages_per_txn: f64,
+    /// Per-phase latency breakdown (lock-wait, quorum-read, prepare,
+    /// commit-apply, wal-force, queue-delay), keyed by phase name. Empty
+    /// when the sweep ran with tracing disabled.
+    pub phases: BTreeMap<String, LatencyStats>,
 }
 
 /// A completed protocol sweep: the grid shape plus every cell, ready to be
@@ -381,6 +391,7 @@ fn run_sweep_cell(
     session.configure_uniform_database(config.items, 100, config.replication_degree)?;
     session.set_seed(seed);
     session.set_client_timeout(config.client_timeout);
+    session.set_tracing(config.tracing.clone());
     session.start()?;
 
     let affected = fault.apply(&session)?;
@@ -417,6 +428,7 @@ fn run_sweep_cell(
         abort_causes,
         latency: LatencySummary::from_millis(decided_latencies_ms),
         messages_per_txn: report.messages_per_txn(),
+        phases: report.stats.phases.clone(),
     })
 }
 
@@ -552,6 +564,16 @@ mod tests {
         assert!(qc.committed > 0, "QC under one crash: {qc:?}");
         assert!(qc.latency.p95_ms >= qc.latency.p50_ms);
         assert!(qc.latency.mean_ms > 0.0);
+        // The default histograms-only tracing gives every cell a per-phase
+        // breakdown; a read-heavy committed workload must have exercised
+        // quorum reads and the commit pipeline.
+        for phase in ["quorum-read", "prepare", "wal-force"] {
+            assert!(
+                qc.phases.get(phase).is_some_and(|s| s.count > 0),
+                "phase {phase} missing in {:?}",
+                qc.phases
+            );
+        }
     }
 
     #[test]

@@ -282,6 +282,16 @@ impl Session {
         self
     }
 
+    /// Configures end-to-end tracing (takes effect at the next
+    /// [`Session::start`]). Use [`rainbow_trace::TraceConfig::sample_all`]
+    /// for span trees of every transaction,
+    /// [`rainbow_trace::TraceConfig::histograms_only`] for the per-phase
+    /// latency breakdown without span storage.
+    pub fn set_tracing(&mut self, tracing: rainbow_trace::TraceConfig) -> &mut Self {
+        self.config.tracing = tracing;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Lifecycle (NSRunnerlet / SiteRunnerlet)
     // ------------------------------------------------------------------
@@ -488,6 +498,12 @@ impl Session {
     /// started without [`Session::set_history_recording`].
     pub fn history(&self) -> RainbowResult<Option<rainbow_common::History>> {
         Ok(self.cluster()?.history())
+    }
+
+    /// The tracer of the running core; `None` when the session was started
+    /// without [`Session::set_tracing`].
+    pub fn tracer(&self) -> RainbowResult<Option<std::sync::Arc<rainbow_trace::Tracer>>> {
+        Ok(self.cluster()?.tracer())
     }
 }
 

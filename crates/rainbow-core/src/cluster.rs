@@ -21,6 +21,7 @@ use rainbow_common::stats::StatsSnapshot;
 use rainbow_common::txn::{TxnResult, TxnSpec};
 use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, Value, Version};
 use rainbow_net::{FaultController, NetworkConfig, NetworkCounters, NodeId, SimNetwork};
+use rainbow_trace::{TraceConfig, Tracer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,6 +46,11 @@ pub struct ClusterConfig {
     /// cluster-wide [`History`] for the serializability checker. Off by
     /// default: the bench hot path pays nothing.
     pub record_history: bool,
+    /// End-to-end tracing: per-transaction span trees and per-phase latency
+    /// histograms (see [`rainbow_trace`]). Disabled by default, in which
+    /// case no tracer is constructed anywhere and every instrumentation
+    /// point reduces to a `None` check.
+    pub tracing: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -66,6 +72,7 @@ impl ClusterConfig {
             network: NetworkConfig::perfect(),
             client_timeout: Duration::from_secs(10),
             record_history: false,
+            tracing: TraceConfig::disabled(),
         })
     }
 
@@ -91,6 +98,12 @@ impl ClusterConfig {
     /// [`ClusterConfig::record_history`]).
     pub fn with_history_recording(mut self, record: bool) -> Self {
         self.record_history = record;
+        self
+    }
+
+    /// Builder-style tracing configuration (see [`ClusterConfig::tracing`]).
+    pub fn with_tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -128,14 +141,22 @@ pub struct Cluster {
     round_robin: Arc<AtomicU64>,
     shut_down: AtomicBool,
     history: Option<Arc<HistorySink>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Cluster {
     /// Builds and starts a Rainbow instance from a configuration.
     pub fn start(config: ClusterConfig) -> RainbowResult<Self> {
         config.validate()?;
-        let network = SimNetwork::<Msg>::new(config.network.clone());
-        let monitor = Arc::new(ProgressMonitor::new(network.counters()));
+        let tracer = config
+            .tracing
+            .enabled
+            .then(|| Arc::new(Tracer::new(config.tracing.clone())));
+        let network = SimNetwork::<Msg>::traced(config.network.clone(), tracer.clone());
+        let monitor = Arc::new(ProgressMonitor::with_tracer(
+            network.counters(),
+            tracer.clone(),
+        ));
 
         // Name server first: sites fetch their schema from it at startup.
         let ns_mailbox = network.register(NodeId::NameServer);
@@ -160,6 +181,7 @@ impl Cluster {
                 mailbox,
                 metrics,
                 history.clone(),
+                tracer.clone(),
             )?;
             sites.insert(spec.id, site);
         }
@@ -176,6 +198,7 @@ impl Cluster {
             round_robin: Arc::new(AtomicU64::new(0)),
             shut_down: AtomicBool::new(false),
             history,
+            tracer,
         })
     }
 
@@ -231,6 +254,13 @@ impl Cluster {
     /// The progress monitor.
     pub fn monitor(&self) -> Arc<ProgressMonitor> {
         Arc::clone(&self.monitor)
+    }
+
+    /// The tracer, or `None` when the cluster was started without
+    /// [`ClusterConfig::tracing`] enabled. Exporters (Chrome trace JSON,
+    /// ASCII span trees) and the phase-latency tables read from here.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.clone()
     }
 
     /// The current statistics snapshot (the Figure 5 panel).
@@ -761,6 +791,63 @@ mod tests {
             rainbow_common::config::ItemPlacement::majority(vec![SiteId(9)]),
         );
         assert!(Cluster::start(config).is_err());
+    }
+
+    #[test]
+    fn traced_cluster_captures_span_trees_and_phase_histograms() {
+        let config = ClusterConfig::quick(3, 4, 3)
+            .unwrap()
+            .with_tracing(rainbow_trace::TraceConfig::sample_all());
+        let cluster = Cluster::start(config).unwrap();
+        let w = cluster.submit(TxnSpec::new("w", vec![Operation::write("x0", 7i64)]));
+        assert!(w.committed(), "{:?}", w.outcome);
+        let r = cluster.submit(TxnSpec::new(
+            "r",
+            vec![Operation::read("x0"), Operation::increment("x1", 2)],
+        ));
+        assert!(r.committed(), "{:?}", r.outcome);
+
+        let tracer = cluster.tracer().expect("tracing is on");
+        let traced = tracer.traced_txns();
+        assert!(
+            traced.len() >= 2,
+            "both transactions sampled, got {traced:?}"
+        );
+        let labels: Vec<String> = tracer.events().iter().map(|e| e.label.clone()).collect();
+        for expected in [
+            "txn",
+            "op:commit",
+            "quorum:leg",
+            "ccp:grant",
+            "acp:prepare",
+            "acp:vote",
+            "apply:commit",
+            "wal:force",
+        ] {
+            assert!(
+                labels.iter().any(|l| l == expected),
+                "missing {expected} in {labels:?}"
+            );
+        }
+        // Read + increment contribute to the quorum-read phase; commits
+        // exercise prepare / commit-apply / wal-force everywhere.
+        let phases = cluster.stats().phases;
+        for phase in [
+            "quorum-read",
+            "lock-wait",
+            "prepare",
+            "commit-apply",
+            "wal-force",
+        ] {
+            assert!(
+                phases.get(phase).is_some_and(|s| s.count > 0),
+                "phase {phase} empty: {phases:?}"
+            );
+        }
+        // The untraced path stays tracer-free.
+        let plain = quick_cluster(2);
+        assert!(plain.tracer().is_none());
+        assert!(plain.stats().phases.is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use rainbow_common::txn::{AbortCause, TxnOutcome, TxnResult};
 use rainbow_common::{ItemId, SiteId, Timestamp, TxnId, Value, Version};
 use rainbow_net::{Envelope, NodeId};
 use rainbow_replication::{QuorumCollector, QuorumOutcome, QuorumResponse};
+use rainbow_trace::{Phase, TraceEvent, Track};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -92,6 +93,11 @@ struct TxnExecution {
     /// Every write with its installed version, in client order (filled when
     /// the staged writes are folded at commit).
     installed: Vec<WriteRecord>,
+    /// Coordinator-side spans buffered locally while the transaction runs.
+    /// Handed to the tracer's `finish_txn` at the end, which keeps them if
+    /// the transaction is sampled *or* slow enough for the worst-N ring.
+    /// Empty (never pushed to) when the cluster runs without a tracer.
+    spans: Vec<TraceEvent>,
 }
 
 impl TxnExecution {
@@ -108,6 +114,7 @@ impl TxnExecution {
             record_history,
             observed: Vec::new(),
             installed: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -134,6 +141,67 @@ impl TxnExecution {
     }
 }
 
+/// Tracer clock, or 0 when tracing is off (every span built from it is
+/// discarded unconditionally in that case).
+fn trace_now(shared: &SiteShared) -> u64 {
+    shared.tracer.as_ref().map_or(0, |t| t.now_us())
+}
+
+/// Buffers one coordinator-side span ending now. No-op without a tracer;
+/// the detail is a closure so untraced runs never pay for formatting.
+fn push_span(
+    shared: &SiteShared,
+    exec: &mut TxnExecution,
+    track: Track,
+    label: &str,
+    start_us: u64,
+    detail: impl FnOnce() -> String,
+) {
+    if let Some(tracer) = shared.tracer.as_ref() {
+        let dur_us = tracer.now_us().saturating_sub(start_us);
+        exec.spans.push(TraceEvent {
+            txn: exec.txn,
+            track,
+            label: label.to_string(),
+            start_us,
+            dur_us,
+            detail: detail(),
+        });
+    }
+}
+
+/// Records the span + phase histogram entry for one assembled quorum.
+/// Write quorums get a span but no `quorum-read` histogram entry.
+fn finish_quorum_span(
+    shared: &SiteShared,
+    exec: &mut TxnExecution,
+    access: QuorumAccess,
+    item: &ItemId,
+    start_us: u64,
+    responders: usize,
+) {
+    let Some(tracer) = shared.tracer.as_ref() else {
+        return;
+    };
+    let dur_us = tracer.now_us().saturating_sub(start_us);
+    if access != QuorumAccess::Write {
+        tracer.record_phase(Phase::QuorumRead, Duration::from_micros(dur_us));
+    }
+    let label = match access {
+        QuorumAccess::Read => "quorum:read",
+        QuorumAccess::Write => "quorum:write",
+        QuorumAccess::ReadForUpdate => "quorum:read-for-update",
+    };
+    exec.spans.push(TraceEvent {
+        txn: exec.txn,
+        track: Track::Coordinator,
+        label: label.to_string(),
+        start_us,
+        dur_us,
+        detail: format!("{item} ({responders} responders)"),
+    });
+}
+
 /// Entry point of the coordinator worker thread: opens the conversation for
 /// `client`, executes commands until the client commits or aborts (or the
 /// conversation idles out), and reports the final result.
@@ -151,6 +219,7 @@ pub(crate) fn run_interactive(
     );
     let ts = shared.clock.next();
     let started = Instant::now();
+    let trace_start = trace_now(&shared);
 
     let (reply_tx, reply_rx) = unbounded();
     // Register before acknowledging, so the client's first command cannot
@@ -184,6 +253,19 @@ pub(crate) fn run_interactive(
             outcome: outcome.clone(),
             completion_seq: 0,
         });
+    }
+
+    if let Some(tracer) = shared.tracer.as_ref() {
+        let mut spans = std::mem::take(&mut exec.spans);
+        spans.push(TraceEvent {
+            txn,
+            track: Track::Coordinator,
+            label: "txn".to_string(),
+            start_us: trace_start,
+            dur_us: tracer.now_us().saturating_sub(trace_start),
+            detail: format!("{label}: {outcome:?}"),
+        });
+        tracer.finish_txn(txn, started.elapsed(), spans);
     }
 
     let result = TxnResult {
@@ -237,13 +319,23 @@ fn drive_conversation(
         last_activity = Instant::now();
         match op {
             NextOp::Read { item } => {
-                match single_quorum(shared, exec, replies, &item, QuorumAccess::Read).and_then(
+                let op_start = trace_now(shared);
+                let res = single_quorum(shared, exec, replies, &item, QuorumAccess::Read).and_then(
                     |collector| {
                         collector
                             .latest_value()
                             .ok_or_else(|| AbortCause::RcpTimeout { item: item.clone() })
                     },
-                ) {
+                );
+                push_span(
+                    shared,
+                    exec,
+                    Track::Coordinator,
+                    "op:read",
+                    op_start,
+                    || item.to_string(),
+                );
+                match res {
                     Ok((value, version)) => {
                         exec.observe_read(&item, &value, version);
                         exec.reads.insert(item.clone(), value.clone());
@@ -261,19 +353,31 @@ fn drive_conversation(
                     }
                 }
             }
-            NextOp::ReadMany { items } => match read_many(shared, exec, replies, &items) {
-                Ok(values) => shared.send(
-                    client,
-                    Msg::TxnOpReply {
-                        txn: exec.txn,
-                        reply: OpReply::Values { values },
-                    },
-                ),
-                Err(cause) => {
-                    abort_everywhere(shared, exec);
-                    return TxnOutcome::Aborted(cause);
+            NextOp::ReadMany { items } => {
+                let op_start = trace_now(shared);
+                let res = read_many(shared, exec, replies, &items);
+                push_span(
+                    shared,
+                    exec,
+                    Track::Coordinator,
+                    "op:read-many",
+                    op_start,
+                    || format!("{} items", items.len()),
+                );
+                match res {
+                    Ok(values) => shared.send(
+                        client,
+                        Msg::TxnOpReply {
+                            txn: exec.txn,
+                            reply: OpReply::Values { values },
+                        },
+                    ),
+                    Err(cause) => {
+                        abort_everywhere(shared, exec);
+                        return TxnOutcome::Aborted(cause);
+                    }
                 }
-            },
+            }
             NextOp::BufferWrite { item, value } => {
                 exec.staged.push(StagedWrite::Deferred { item, value });
                 shared.send(
@@ -285,7 +389,17 @@ fn drive_conversation(
                 );
             }
             NextOp::Increment { item, delta } => {
-                match interactive_increment(shared, exec, replies, &item, delta) {
+                let op_start = trace_now(shared);
+                let res = interactive_increment(shared, exec, replies, &item, delta);
+                push_span(
+                    shared,
+                    exec,
+                    Track::Coordinator,
+                    "op:increment",
+                    op_start,
+                    || item.to_string(),
+                );
+                match res {
                     Ok(value) => shared.send(
                         client,
                         Msg::TxnOpReply {
@@ -300,13 +414,29 @@ fn drive_conversation(
                 }
             }
             NextOp::Commit => {
-                return match install_staged_writes(shared, exec, replies) {
+                let op_start = trace_now(shared);
+                let outcome = match install_staged_writes(shared, exec, replies) {
                     Ok(()) => run_commit_protocol(shared, exec, replies),
                     Err(cause) => {
                         abort_everywhere(shared, exec);
                         TxnOutcome::Aborted(cause)
                     }
                 };
+                push_span(
+                    shared,
+                    exec,
+                    Track::Coordinator,
+                    "op:commit",
+                    op_start,
+                    || {
+                        if outcome.is_committed() {
+                            "committed".to_string()
+                        } else {
+                            "aborted".to_string()
+                        }
+                    },
+                );
+                return outcome;
             }
             NextOp::Abort => {
                 abort_everywhere(shared, exec);
@@ -504,6 +634,7 @@ fn assemble_quorums_parallel(
     access: QuorumAccess,
 ) -> Result<Vec<QuorumCollector>, AbortCause> {
     // Phase 1: plan and send everything.
+    let fanout_start = trace_now(shared);
     let mut rounds: Vec<QuorumRound> = Vec::with_capacity(items.len());
     for item in items {
         let collector = start_quorum(shared, exec, item, access)?;
@@ -514,6 +645,10 @@ fn assemble_quorums_parallel(
             return Err(collector.abort_cause());
         }
         let assembled = collector.is_assembled();
+        if assembled {
+            let responders = collector.responders().len();
+            finish_quorum_span(shared, exec, access, item, fanout_start, responders);
+        }
         rounds.push(QuorumRound {
             item: item.clone(),
             access,
@@ -570,6 +705,14 @@ fn assemble_quorums_parallel(
         if from != shared.node {
             shared.net.counters().record_round_trip();
         }
+        push_span(
+            shared,
+            exec,
+            Track::Coordinator,
+            "quorum:leg",
+            fanout_start,
+            || format!("site{} {reply_item}", site.0),
+        );
         match result {
             CopyAccessResult::Granted { value, version } => {
                 // The responder holds CCP resources on our behalf from this
@@ -595,6 +738,9 @@ fn assemble_quorums_parallel(
             QuorumOutcome::Assembled => {
                 round.assembled = true;
                 outstanding -= 1;
+                let item = round.item.clone();
+                let responders = round.collector.responders().len();
+                finish_quorum_span(shared, exec, access, &item, fanout_start, responders);
             }
             QuorumOutcome::Impossible => {
                 return Err(round
@@ -736,6 +882,7 @@ fn single_quorum(
     // Only plain pre-writes come back flagged as pre-write replies;
     // read-for-update accesses reply like reads (they carry the value).
     let is_prewrite = access == QuorumAccess::Write;
+    let fanout_start = trace_now(shared);
     let mut collector = start_quorum(shared, exec, item, access)?;
 
     let deadline = Instant::now() + shared.stack.quorum_timeout;
@@ -748,6 +895,8 @@ fn single_quorum(
                 for site in collector.responders() {
                     exec.touched.insert(site);
                 }
+                let responders = collector.responders().len();
+                finish_quorum_span(shared, exec, access, item, fanout_start, responders);
                 return Ok(collector);
             }
             QuorumOutcome::Impossible => {
@@ -789,6 +938,14 @@ fn single_quorum(
                     if envelope.from != shared.node {
                         shared.net.counters().record_round_trip();
                     }
+                    push_span(
+                        shared,
+                        exec,
+                        Track::Coordinator,
+                        "quorum:leg",
+                        fanout_start,
+                        || format!("site{} {reply_item}", site.0),
+                    );
                     match result {
                         CopyAccessResult::Granted { value, version } => {
                             collector.record_response(QuorumResponse {
@@ -829,6 +986,10 @@ fn run_commit_protocol(
     let participants: Vec<SiteId> = exec.touched.iter().copied().collect();
     let mut coordinator = Coordinator::new(exec.txn, shared.stack.acp, participants.clone());
     let mut abort_cause: Option<AbortCause> = None;
+    let acp_start = trace_now(shared);
+    // Set when the decision goes out: closes the voting span, opens the
+    // decision-distribution span.
+    let mut decision_start: Option<u64> = None;
 
     let action = coordinator.start();
     if let CoordinatorAction::Complete(decision) = action {
@@ -893,9 +1054,31 @@ fn run_commit_protocol(
             }
             _ => {}
         }
+        if matches!(action, CoordinatorAction::SendDecision(..)) && decision_start.is_none() {
+            push_span(
+                shared,
+                exec,
+                Track::Coordinator,
+                "acp:prepare",
+                acp_start,
+                || format!("{} participants", participants.len()),
+            );
+            decision_start = Some(trace_now(shared));
+        }
         if perform_action(shared, exec, action, &mut abort_cause) {
             break;
         }
+    }
+
+    if let Some(start) = decision_start {
+        push_span(
+            shared,
+            exec,
+            Track::Coordinator,
+            "acp:decision",
+            start,
+            || format!("{:?}", coordinator.decision()),
+        );
     }
 
     match coordinator.decision() {

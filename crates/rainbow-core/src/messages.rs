@@ -381,6 +381,12 @@ impl NetMessage for Msg {
             _ => HEADER,
         }
     }
+
+    fn txn(&self) -> Option<TxnId> {
+        // Delegates to the inherent method so the network tracer attributes
+        // queue-delay spans to the right transaction.
+        Msg::txn(self)
+    }
 }
 
 #[cfg(test)]

@@ -7,10 +7,11 @@
 //! EXPERIMENTS.md.
 
 use parking_lot::Mutex;
-use rainbow_common::stats::{AbortBreakdown, LatencyStats, LoadBalance, StatsSnapshot};
+use rainbow_common::stats::{AbortBreakdown, LoadBalance, StatsSnapshot};
 use rainbow_common::txn::{TxnOutcome, TxnResult};
 use rainbow_common::SiteId;
 use rainbow_net::NetworkCounters;
+use rainbow_trace::{LogHistogram, Tracer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,15 +57,25 @@ pub struct ProgressMonitor {
     orphans: AtomicU64,
     committed: AtomicU64,
     aborted: AtomicU64,
-    response_samples: Mutex<Vec<Duration>>,
+    /// Response-time distribution. A constant-memory log-bucketed histogram
+    /// rather than a sample vector: long chaos runs used to grow an
+    /// unbounded `Vec<Duration>` here.
+    response_times: Mutex<LogHistogram>,
     aborts: Mutex<AbortBreakdown>,
     per_site: Mutex<BTreeMap<SiteId, Arc<SiteMetrics>>>,
     network: Arc<NetworkCounters>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ProgressMonitor {
     /// Creates a monitor reading message counters from `network`.
     pub fn new(network: Arc<NetworkCounters>) -> Self {
+        Self::with_tracer(network, None)
+    }
+
+    /// Creates a monitor that additionally reads per-phase latency
+    /// histograms from `tracer` when rendering snapshots.
+    pub fn with_tracer(network: Arc<NetworkCounters>, tracer: Option<Arc<Tracer>>) -> Self {
         ProgressMonitor {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -72,10 +83,11 @@ impl ProgressMonitor {
             orphans: AtomicU64::new(0),
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
-            response_samples: Mutex::new(Vec::new()),
+            response_times: Mutex::new(LogHistogram::new()),
             aborts: Mutex::new(AbortBreakdown::default()),
             per_site: Mutex::new(BTreeMap::new()),
             network,
+            tracer,
         }
     }
 
@@ -107,7 +119,9 @@ impl ProgressMonitor {
             self.restarted.fetch_add(1, Ordering::Relaxed);
         }
         if !result.outcome.is_orphaned() {
-            self.response_samples.lock().push(result.response_time);
+            self.response_times
+                .lock()
+                .record_duration(result.response_time);
         }
     }
 
@@ -118,7 +132,12 @@ impl ProgressMonitor {
 
     /// Renders the current statistics snapshot (the Figure 5 panel).
     pub fn snapshot(&self) -> StatsSnapshot {
-        let samples = self.response_samples.lock();
+        let response_time = self.response_times.lock().to_latency_stats();
+        let phases = self
+            .tracer
+            .as_ref()
+            .map(|t| t.phase_stats())
+            .unwrap_or_default();
         let mut load = LoadBalance::default();
         for (site, metrics) in self.per_site.lock().iter() {
             load.home_transactions
@@ -134,7 +153,8 @@ impl ProgressMonitor {
             restarted: self.restarted.load(Ordering::Relaxed),
             aborts: self.aborts.lock().clone(),
             messages: self.network.snapshot(),
-            response_time: LatencyStats::from_samples(&samples),
+            response_time,
+            phases,
             elapsed_secs: self.started.elapsed().as_secs_f64(),
             load,
         }
@@ -239,6 +259,25 @@ mod tests {
         );
         let monitor = ProgressMonitor::new(Arc::clone(&counters));
         assert_eq!(monitor.snapshot().messages.sent, 1);
+    }
+
+    #[test]
+    fn snapshot_includes_tracer_phase_breakdown() {
+        let tracer = Arc::new(rainbow_trace::Tracer::new(
+            rainbow_trace::TraceConfig::histograms_only(),
+        ));
+        let monitor = ProgressMonitor::with_tracer(
+            Arc::new(NetworkCounters::new()),
+            Some(Arc::clone(&tracer)),
+        );
+        tracer.record_phase(rainbow_trace::Phase::LockWait, Duration::from_micros(120));
+        monitor.record_result(&result(TxnOutcome::Committed, 5));
+        let snap = monitor.snapshot();
+        assert_eq!(snap.phases["lock-wait"].count, 1);
+        assert_eq!(snap.response_time.count, 1);
+        // Without a tracer the phase map stays empty.
+        let plain = ProgressMonitor::new(Arc::new(NetworkCounters::new()));
+        assert!(plain.snapshot().phases.is_empty());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use rainbow_common::{
 use rainbow_net::{Envelope, NetHandle, NodeId};
 use rainbow_replication::{make_rcp, ReplicationControl};
 use rainbow_storage::SiteStorage;
+use rainbow_trace::{Phase, TraceEvent, Tracer, Track};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,6 +80,9 @@ pub(crate) struct SiteShared {
     /// recording branch in the coordinator dead, so the hot path pays
     /// nothing.
     pub history: Option<Arc<HistorySink>>,
+    /// The cluster-wide trace sink, `None` when tracing is disabled (the
+    /// default) — same dead-branch pattern as `history`.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl SiteShared {
@@ -101,6 +105,43 @@ impl SiteShared {
     /// (which only occur while the whole instance is being torn down).
     pub fn send(&self, to: NodeId, msg: Msg) {
         let _ = self.net.send(self.node, to, msg);
+    }
+
+    /// Microseconds since the tracer epoch, or 0 when tracing is off. The
+    /// timestamp feeds [`SiteShared::trace_site_span`].
+    pub fn trace_now(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.now_us())
+    }
+
+    /// Records a participant-side span covering `start_us`..now on this
+    /// site's track — into `phase`'s histogram when given, and as a span
+    /// event when the transaction is sampled. No-op without a tracer; the
+    /// detail is a closure so untraced runs never pay for formatting.
+    pub fn trace_site_span(
+        &self,
+        txn: TxnId,
+        phase: Option<Phase>,
+        label: &str,
+        start_us: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        let Some(tracer) = self.tracer.as_ref() else {
+            return;
+        };
+        let dur = tracer.now_us().saturating_sub(start_us);
+        if let Some(phase) = phase {
+            tracer.record_phase(phase, Duration::from_micros(dur));
+        }
+        if tracer.sampled(txn) {
+            tracer.record(TraceEvent {
+                txn,
+                track: Track::Site { site: self.id.0 },
+                label: label.to_string(),
+                start_us,
+                dur_us: dur,
+                detail: detail(),
+            });
+        }
     }
 
     /// Ensures a participant entry exists for `txn` and returns its context.
@@ -138,6 +179,7 @@ impl SiteHandle {
         mailbox: Receiver<Envelope<Msg>>,
         metrics: Arc<SiteMetrics>,
         history: Option<Arc<HistorySink>>,
+        tracer: Option<Arc<Tracer>>,
     ) -> RainbowResult<Self> {
         let node = NodeId::Site(id);
         // Ask the name server for the schema before serving anything.
@@ -161,12 +203,13 @@ impl SiteHandle {
             RainbowError::Timeout(format!("site {id} could not fetch the schema"))
         })?;
         Ok(Self::spawn_with_schema(
-            id, stack, schema, net, mailbox, metrics, history,
+            id, stack, schema, net, mailbox, metrics, history, tracer,
         ))
     }
 
     /// Spawns a site with an explicitly provided schema (no name-server
     /// round trip); used by tests and by recovery.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn_with_schema(
         id: SiteId,
         stack: ProtocolStack,
@@ -175,8 +218,9 @@ impl SiteHandle {
         mailbox: Receiver<Envelope<Msg>>,
         metrics: Arc<SiteMetrics>,
         history: Option<Arc<HistorySink>>,
+        tracer: Option<Arc<Tracer>>,
     ) -> Self {
-        let storage = SiteStorage::new(id);
+        let storage = SiteStorage::new(id).with_tracer(tracer.clone());
         let local_items: Vec<(ItemId, Value)> = schema
             .items
             .iter()
@@ -212,6 +256,7 @@ impl SiteHandle {
             clock: TimestampGenerator::new(id),
             shutdown: Arc::new(AtomicBool::new(false)),
             history,
+            tracer,
         });
 
         let dispatcher_shared = Arc::clone(&shared);
@@ -533,6 +578,7 @@ fn handle_copy_access(
         Err(_) => CopyAccessResult::NoSuchCopy,
         Ok(current) => {
             let ccp = shared.ccp();
+            let lock_start = shared.trace_now();
             let decision = match access {
                 CopyAccess::Prewrite => ccp.prewrite(&ctx, &item, current.clone()),
                 CopyAccess::Read { for_update: false } => ccp.read(&ctx, &item, current.clone()),
@@ -547,6 +593,19 @@ fn handle_copy_access(
                     }
                 }
             };
+            // The CCP call is where lock waits happen: its latency *is* the
+            // lock-acquisition phase, granted or not.
+            shared.trace_site_span(
+                txn,
+                Some(Phase::LockWait),
+                if decision.is_granted() {
+                    "ccp:grant"
+                } else {
+                    "ccp:deny"
+                },
+                lock_start,
+                || format!("{item} {access:?}"),
+            );
             match decision {
                 CcDecision::Granted { value_override } => {
                     // The CCP call may have blocked (2PL lock wait). Two
@@ -612,6 +671,7 @@ fn handle_prepare(
     writes: Vec<(ItemId, Value, Version)>,
 ) {
     shared.clock.observe(ts);
+    let prepare_start = shared.trace_now();
     let ctx = shared.ensure_participant(txn, ts, from);
     let ccp = shared.ccp();
     let can_commit = ccp.validate(&ctx).is_granted();
@@ -640,6 +700,9 @@ fn handle_prepare(
             shared.storage.abort(txn);
             ccp.abort(&ctx);
         }
+        shared.trace_site_span(txn, Some(Phase::Prepare), "acp:vote", prepare_start, || {
+            format!("{vote:?} ({} writes)", writes.len())
+        });
         shared.send(from, Msg::AcpVote { txn, vote });
     }
 }
@@ -708,15 +771,24 @@ fn handle_status_reply(shared: &Arc<SiteShared>, txn: TxnId, decision: Option<De
 
 /// Applies a commit/abort decision to storage and the CCP.
 fn apply_decision(shared: &Arc<SiteShared>, ctx: &TxnContext, decision: Decision) {
+    let apply_start = shared.trace_now();
     let ccp = shared.ccp();
     match decision {
         Decision::Commit => {
             let writes = shared.storage.commit(ctx.id);
             ccp.commit(ctx, &writes);
+            shared.trace_site_span(
+                ctx.id,
+                Some(Phase::CommitApply),
+                "apply:commit",
+                apply_start,
+                || format!("{} writes installed", writes.len()),
+            );
         }
         Decision::Abort => {
             shared.storage.abort(ctx.id);
             ccp.abort(ctx);
+            shared.trace_site_span(ctx.id, None, "apply:abort", apply_start, String::new);
         }
     }
 }
@@ -791,6 +863,7 @@ mod tests {
             net.handle(),
             mailbox,
             Arc::new(SiteMetrics::new()),
+            None,
             None,
         )
     }

@@ -18,7 +18,8 @@ use crate::node::NodeId;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use rainbow_common::rng::seeded_rng;
-use rainbow_common::{MessageId, RainbowError, RainbowResult};
+use rainbow_common::{MessageId, RainbowError, RainbowResult, TxnId};
+use rainbow_trace::{Phase, TraceEvent, Tracer, Track};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -38,6 +39,13 @@ pub trait NetMessage: Send + Clone + 'static {
     /// for byte counters.
     fn size_hint(&self) -> usize {
         64
+    }
+
+    /// The transaction this message belongs to, when it belongs to one.
+    /// Used by the tracer to attribute queue-delay spans; `None` (the
+    /// default) means the message is never traced.
+    fn txn(&self) -> Option<TxnId> {
+        None
     }
 }
 
@@ -59,6 +67,9 @@ struct ScheduledDelivery<M> {
     deliver_at: Instant,
     seq: u64,
     envelope: Envelope<M>,
+    /// `(txn, enqueue time)` when the network tracer wants a queue-delay
+    /// span for this message.
+    trace: Option<(TxnId, u64)>,
 }
 
 impl<M> PartialEq for ScheduledDelivery<M> {
@@ -88,9 +99,32 @@ struct Shared<M: NetMessage> {
     next_seq: AtomicU64,
     rng: Mutex<StdRng>,
     shutdown: AtomicBool,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<M: NetMessage> Shared<M> {
+    /// Records one message's queue delay (latency model + scheduler lag)
+    /// into the tracer: always into the queue-delay histogram, and as a
+    /// net-track span when the transaction is sampled.
+    fn trace_delivery(&self, envelope: &Envelope<M>, txn: TxnId, enqueued_us: u64) {
+        let Some(tracer) = self.tracer.as_ref() else {
+            return;
+        };
+        let now = tracer.now_us();
+        let delay = now.saturating_sub(enqueued_us);
+        tracer.record_phase(Phase::QueueDelay, Duration::from_micros(delay));
+        if tracer.sampled(txn) {
+            tracer.record(TraceEvent {
+                txn,
+                track: Track::Net,
+                label: format!("net:{}", envelope.payload.kind()),
+                start_us: enqueued_us,
+                dur_us: delay,
+                detail: format!("{} -> {}", envelope.from, envelope.to),
+            });
+        }
+    }
+
     fn next_message_id(&self) -> MessageId {
         MessageId(self.next_id.fetch_add(1, Ordering::Relaxed))
     }
@@ -191,13 +225,24 @@ impl<M: NetMessage> NetHandle<M> {
             return Ok(id);
         }
 
+        // Queue-delay tracing: stamp the enqueue time for transaction
+        // messages when a tracer is attached.
+        let trace = match shared.tracer.as_ref() {
+            Some(tracer) => envelope.payload.txn().map(|txn| (txn, tracer.now_us())),
+            None => None,
+        };
+
         if latency.is_zero() {
+            if let Some((txn, enqueued_us)) = trace {
+                shared.trace_delivery(&envelope, txn, enqueued_us);
+            }
             shared.deliver_now(envelope);
         } else {
             let job = ScheduledDelivery {
                 deliver_at: Instant::now() + latency,
                 seq: shared.next_seq.fetch_add(1, Ordering::Relaxed),
                 envelope,
+                trace,
             };
             shared
                 .scheduler
@@ -251,10 +296,24 @@ impl<M: NetMessage> SimNetwork<M> {
         Self::with_faults(config, Arc::new(FaultController::new()))
     }
 
+    /// Builds a network that records every transaction message's queue
+    /// delay into `tracer` (`None` behaves exactly like [`SimNetwork::new`]).
+    pub fn traced(config: NetworkConfig, tracer: Option<Arc<Tracer>>) -> Self {
+        Self::build(config, Arc::new(FaultController::new()), tracer)
+    }
+
     /// Builds a network sharing an externally created fault controller
     /// (useful when an experiment script wants to hold the controller
     /// independently of the network's lifetime).
     pub fn with_faults(config: NetworkConfig, faults: Arc<FaultController>) -> Self {
+        Self::build(config, faults, None)
+    }
+
+    fn build(
+        config: NetworkConfig,
+        faults: Arc<FaultController>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
         let (tx, rx) = unbounded::<ScheduledDelivery<M>>();
         let seed = config.seed;
         let shared = Arc::new(Shared {
@@ -267,6 +326,7 @@ impl<M: NetMessage> SimNetwork<M> {
             next_seq: AtomicU64::new(0),
             rng: Mutex::new(seeded_rng(seed)),
             shutdown: AtomicBool::new(false),
+            tracer,
         });
         let thread_shared = Arc::clone(&shared);
         let delivery_thread = std::thread::Builder::new()
@@ -370,6 +430,9 @@ fn delivery_loop<M: NetMessage>(shared: Arc<Shared<M>>, rx: Receiver<ScheduledDe
                 break;
             }
             let Reverse(job) = pending.pop().expect("peeked job must exist");
+            if let Some((txn, enqueued_us)) = job.trace {
+                shared.trace_delivery(&job.envelope, txn, enqueued_us);
+            }
             shared.deliver_now(job.envelope);
         }
     }
@@ -396,6 +459,12 @@ mod tests {
         }
         fn size_hint(&self) -> usize {
             16
+        }
+        fn txn(&self) -> Option<TxnId> {
+            match self {
+                TestMsg::Ping(n) => Some(TxnId::new(rainbow_common::SiteId(0), *n as u64)),
+                TestMsg::Pong(_) => None,
+            }
         }
     }
 
@@ -615,6 +684,40 @@ mod tests {
             "a->b is fully lossy"
         );
         assert!(recv_with_timeout(&rx_a, 500).is_some(), "b->a is perfect");
+    }
+
+    #[test]
+    fn traced_network_records_queue_delay_spans_and_histogram() {
+        let cfg = NetworkConfig::default()
+            .with_default_link(LinkConfig::with_latency(LatencyModel::constant(
+                Duration::from_millis(10),
+            )))
+            .with_seed(1);
+        let tracer = Arc::new(Tracer::new(rainbow_trace::TraceConfig::sample_all()));
+        let net = SimNetwork::<TestMsg>::traced(cfg, Some(Arc::clone(&tracer)));
+        let a = NodeId::site(0);
+        let b = NodeId::site(1);
+        net.register(a);
+        let rx_b = net.register(b);
+        let handle = net.handle();
+        handle.send(a, b, TestMsg::Ping(3)).unwrap();
+        // Pong carries no transaction: it must not be traced.
+        handle.send(a, b, TestMsg::Pong(1)).unwrap();
+        assert!(recv_with_timeout(&rx_b, 1000).is_some());
+        assert!(recv_with_timeout(&rx_b, 1000).is_some());
+
+        let stats = tracer.phase_stats();
+        assert_eq!(stats["queue-delay"].count, 1);
+        assert!(
+            stats["queue-delay"].min_us >= 5_000,
+            "10ms link latency must dominate the queue delay: {:?}",
+            stats["queue-delay"]
+        );
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].track, Track::Net);
+        assert_eq!(events[0].label, "net:PING");
+        assert_eq!(events[0].detail, "site0 -> site1");
     }
 
     #[test]

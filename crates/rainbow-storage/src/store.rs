@@ -218,6 +218,7 @@ pub struct SiteStorage {
     site: SiteId,
     store: Arc<RwLock<VersionedStore>>,
     log: WriteAheadLog,
+    tracer: Option<Arc<rainbow_trace::Tracer>>,
 }
 
 impl SiteStorage {
@@ -227,6 +228,38 @@ impl SiteStorage {
             site,
             store: Arc::new(RwLock::new(VersionedStore::new())),
             log: WriteAheadLog::new(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a tracer: every forced log append (the fsync stand-in) is
+    /// timed into the wal-force phase histogram, and sampled transactions
+    /// get a `wal:force` span on this site's track.
+    pub fn with_tracer(mut self, tracer: Option<Arc<rainbow_trace::Tracer>>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Times a forced append into the tracer (no-op without one). The
+    /// detail is a closure so untraced commits never pay for formatting.
+    fn trace_force(&self, txn: TxnId, label: &str, start_us: u64, detail: impl FnOnce() -> String) {
+        let Some(tracer) = self.tracer.as_ref() else {
+            return;
+        };
+        let end = tracer.now_us();
+        tracer.record_phase(
+            rainbow_trace::Phase::WalForce,
+            std::time::Duration::from_micros(end.saturating_sub(start_us)),
+        );
+        if tracer.sampled(txn) {
+            tracer.record(rainbow_trace::TraceEvent {
+                txn,
+                track: rainbow_trace::Track::Site { site: self.site.0 },
+                label: label.to_string(),
+                start_us,
+                dur_us: end.saturating_sub(start_us),
+                detail: detail(),
+            });
         }
     }
 
@@ -290,10 +323,12 @@ impl SiteStorage {
     /// prepared writes.
     pub fn prepare(&self, txn: TxnId) -> Vec<(ItemId, Value, Version)> {
         let writes = self.staged_writes(&txn);
+        let start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
         self.log.append_forced(LogRecord::Prepare {
             txn,
             writes: writes.clone(),
         });
+        self.trace_force(txn, "wal:force", start_us, || format!("prepare {txn}"));
         writes
     }
 
@@ -301,10 +336,12 @@ impl SiteStorage {
     /// a commit record is forced. Returns the installed writes.
     pub fn commit(&self, txn: TxnId) -> Vec<(ItemId, Value, Version)> {
         let installed = self.store.write().install(&txn);
+        let start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
         self.log.append_forced(LogRecord::Commit {
             txn,
             writes: installed.clone(),
         });
+        self.trace_force(txn, "wal:force", start_us, || format!("commit {txn}"));
         installed
     }
 
@@ -625,6 +662,27 @@ mod tests {
             storage.repair_copies(&[(item("x"), Value::Int(9), Version(3))]),
             0
         );
+    }
+
+    #[test]
+    fn traced_storage_times_wal_forces() {
+        let tracer = Arc::new(rainbow_trace::Tracer::new(
+            rainbow_trace::TraceConfig::sample_all(),
+        ));
+        let storage = SiteStorage::new(SiteId(0)).with_tracer(Some(Arc::clone(&tracer)));
+        storage.initialize(&[(item("x"), Value::Int(0))]);
+        let t = txn(1);
+        storage.stage_write(t, item("x"), Value::Int(1), Version(1));
+        storage.prepare(t);
+        storage.commit(t);
+        // One forced append per prepare and per commit.
+        let stats = tracer.phase_stats();
+        assert_eq!(stats["wal-force"].count, 2);
+        let events = tracer.txn_events(t);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.label == "wal:force"));
+        assert!(events.iter().any(|e| e.detail.starts_with("prepare")));
+        assert!(events.iter().any(|e| e.detail.starts_with("commit")));
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and an
+//! ASCII span-tree renderer.
+//!
+//! The Chrome exporter emits explicit, balanced `B`/`E` duration events —
+//! one process per transaction, one thread lane per track — plus
+//! `process_name` / `thread_name` metadata so Perfetto labels everything.
+//! Spans that overlap without nesting on the same track (e.g. concurrent
+//! quorum legs) are split onto separate lanes, which guarantees every
+//! lane's `B`/`E` sequence is properly nested.
+
+use crate::event::TraceEvent;
+use rainbow_common::TxnId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One Chrome trace-event object. The field set is uniform across event
+/// kinds (`ph` = `"M"` metadata, `"B"` begin, `"E"` end) so exported
+/// traces can be re-parsed with the same type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Event (span) name, or `process_name` / `thread_name` for metadata.
+    pub name: String,
+    /// Category — the track name.
+    pub cat: String,
+    /// Phase: `"B"`, `"E"` or `"M"`.
+    pub ph: String,
+    /// Timestamp in microseconds.
+    pub ts: u64,
+    /// Process id (one per transaction).
+    pub pid: u64,
+    /// Thread id (one per track lane).
+    pub tid: u64,
+    /// Arguments (Perfetto shows them in the span detail pane).
+    pub args: ChromeArgs,
+}
+
+/// Arguments attached to a Chrome trace event.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChromeArgs {
+    /// Display name (used by `process_name` / `thread_name` metadata).
+    pub name: String,
+    /// Free-form span detail.
+    pub detail: String,
+}
+
+/// Result of [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeTraceCheck {
+    /// Number of `B` (begin) events.
+    pub begins: usize,
+    /// Number of `E` (end) events.
+    pub ends: usize,
+    /// Number of metadata events.
+    pub metadata: usize,
+    /// Number of distinct processes (transactions).
+    pub processes: usize,
+}
+
+/// Exports spans as a Chrome trace-event JSON array, loadable in Perfetto
+/// (`ui.perfetto.dev`) or `chrome://tracing`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    serde_json::to_string_pretty(&chrome_events(events)).expect("chrome trace serializes")
+}
+
+/// The typed event list behind [`chrome_trace_json`].
+pub fn chrome_events(events: &[TraceEvent]) -> Vec<ChromeEvent> {
+    // One process per transaction, in first-appearance order.
+    let mut pids: BTreeMap<TxnId, u64> = BTreeMap::new();
+    for event in events {
+        let next = pids.len() as u64 + 1;
+        pids.entry(event.txn).or_insert(next);
+    }
+
+    let mut out: Vec<ChromeEvent> = Vec::new();
+    for (txn, pid) in &pids {
+        out.push(ChromeEvent {
+            name: "process_name".into(),
+            cat: String::new(),
+            ph: "M".into(),
+            ts: 0,
+            pid: *pid,
+            tid: 0,
+            args: ChromeArgs {
+                name: format!("txn {txn}"),
+                detail: String::new(),
+            },
+        });
+    }
+
+    // Group spans per (txn, track) and split each group into properly
+    // nested lanes.
+    let mut groups: BTreeMap<(u64, u64, String), Vec<&TraceEvent>> = BTreeMap::new();
+    for event in events {
+        let pid = pids[&event.txn];
+        groups
+            .entry((pid, event.track.lane_base(), event.track.name()))
+            .or_default()
+            .push(event);
+    }
+
+    for ((pid, base, track_name), mut spans) in groups {
+        spans.sort_by(|a, b| {
+            (a.start_us, b.dur_us, &a.label).cmp(&(b.start_us, a.dur_us, &b.label))
+        });
+        let lanes = assign_lanes(&spans);
+        let lane_count = lanes.iter().copied().max().map_or(0, |m| m + 1);
+        for lane in 0..lane_count {
+            let tid = base * 100 + lane as u64;
+            out.push(ChromeEvent {
+                name: "thread_name".into(),
+                cat: String::new(),
+                ph: "M".into(),
+                ts: 0,
+                pid,
+                tid,
+                args: ChromeArgs {
+                    name: if lane == 0 {
+                        track_name.clone()
+                    } else {
+                        format!("{track_name} (lane {lane})")
+                    },
+                    detail: String::new(),
+                },
+            });
+        }
+        for lane in 0..lane_count {
+            let lane_spans: Vec<&TraceEvent> = spans
+                .iter()
+                .zip(&lanes)
+                .filter(|(_, l)| **l == lane)
+                .map(|(s, _)| *s)
+                .collect();
+            emit_lane(
+                &mut out,
+                pid,
+                base * 100 + lane as u64,
+                &track_name,
+                &lane_spans,
+            );
+        }
+    }
+    out
+}
+
+/// Greedy lane assignment: each span goes to the first lane where it is
+/// either disjoint from, or fully nested in, everything already open.
+fn assign_lanes(spans: &[&TraceEvent]) -> Vec<usize> {
+    let mut lanes: Vec<Vec<u64>> = Vec::new(); // per-lane stack of open end times
+    let mut assignment = Vec::with_capacity(spans.len());
+    for span in spans {
+        let mut chosen = None;
+        for (i, stack) in lanes.iter_mut().enumerate() {
+            while stack.last().is_some_and(|&end| end <= span.start_us) {
+                stack.pop();
+            }
+            if stack.last().is_none_or(|&end| span.end_us() <= end) {
+                stack.push(span.end_us());
+                chosen = Some(i);
+                break;
+            }
+        }
+        let lane = chosen.unwrap_or_else(|| {
+            lanes.push(vec![span.end_us()]);
+            lanes.len() - 1
+        });
+        assignment.push(lane);
+    }
+    assignment
+}
+
+/// Emits balanced `B`/`E` pairs for one lane of disjoint-or-nested spans,
+/// in timestamp order (ends before begins at equal timestamps).
+fn emit_lane(out: &mut Vec<ChromeEvent>, pid: u64, tid: u64, cat: &str, spans: &[&TraceEvent]) {
+    let mut open: Vec<&TraceEvent> = Vec::new();
+    let make = |span: &TraceEvent, ph: &str, ts: u64| ChromeEvent {
+        name: span.label.clone(),
+        cat: cat.to_string(),
+        ph: ph.into(),
+        ts,
+        pid,
+        tid,
+        args: ChromeArgs {
+            name: String::new(),
+            detail: span.detail.clone(),
+        },
+    };
+    for span in spans {
+        while open.last().is_some_and(|top| top.end_us() <= span.start_us) {
+            let top = open.pop().expect("stack non-empty");
+            out.push(make(top, "E", top.end_us()));
+        }
+        out.push(make(span, "B", span.start_us));
+        open.push(span);
+    }
+    while let Some(top) = open.pop() {
+        out.push(make(top, "E", top.end_us()));
+    }
+}
+
+/// Parses an exported Chrome trace and checks that every `B` has a
+/// matching `E` in proper stack order on its `(pid, tid)` lane. Returns
+/// the event counts on success; a description of the first problem
+/// otherwise. This is the assertion CI's bench-smoke leg runs on the
+/// exported trace.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceCheck, String> {
+    let events: Vec<ChromeEvent> =
+        serde_json::from_str(json).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut check = ChromeTraceCheck {
+        begins: 0,
+        ends: 0,
+        metadata: 0,
+        processes: 0,
+    };
+    let mut pids: Vec<u64> = Vec::new();
+    for event in &events {
+        if !pids.contains(&event.pid) && event.ph != "M" {
+            pids.push(event.pid);
+        }
+        match event.ph.as_str() {
+            "M" => check.metadata += 1,
+            "B" => {
+                check.begins += 1;
+                stacks
+                    .entry((event.pid, event.tid))
+                    .or_default()
+                    .push(event.name.clone());
+            }
+            "E" => {
+                check.ends += 1;
+                let stack = stacks.entry((event.pid, event.tid)).or_default();
+                match stack.pop() {
+                    Some(open) if open == event.name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "mismatched end: expected `{open}`, got `{}` on pid {} tid {}",
+                            event.name, event.pid, event.tid
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "end without begin: `{}` on pid {} tid {}",
+                            event.name, event.pid, event.tid
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("unknown phase `{other}`")),
+        }
+    }
+    for ((pid, tid), stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "unclosed span(s) {:?} on pid {pid} tid {tid}",
+                stack
+            ));
+        }
+    }
+    check.processes = pids.len();
+    Ok(check)
+}
+
+/// Renders one transaction's spans as an ASCII tree, nested by time
+/// containment. Spans must belong to a single transaction (use
+/// `Tracer::txn_events`).
+pub fn ascii_span_tree(events: &[TraceEvent]) -> String {
+    if events.is_empty() {
+        return "(no spans)\n".to_string();
+    }
+    let mut spans: Vec<&TraceEvent> = events.iter().collect();
+    spans.sort_by(|a, b| (a.start_us, b.dur_us).cmp(&(b.start_us, a.dur_us)));
+    let origin = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let end = spans.iter().map(|s| s.end_us()).max().unwrap_or(origin);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "txn {} — {} total, {} span(s)",
+        spans[0].txn,
+        fmt_us(end - origin),
+        spans.len()
+    );
+    let mut stack: Vec<&TraceEvent> = Vec::new();
+    for span in spans {
+        while stack.last().is_some_and(|top| !top.contains(span)) {
+            stack.pop();
+        }
+        let indent = "  ".repeat(stack.len());
+        let _ = writeln!(
+            out,
+            "{indent}+- [{}] {} @{} {}{}",
+            span.track.name(),
+            span.label,
+            fmt_us(span.start_us - origin),
+            fmt_us(span.dur_us),
+            if span.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", span.detail)
+            }
+        );
+        stack.push(span);
+    }
+    out
+}
+
+/// Formats microseconds compactly (`875us`, `12.34ms`, `1.20s`).
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+    use rainbow_common::SiteId;
+
+    fn span(seq: u64, track: Track, label: &str, start: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            txn: TxnId::new(SiteId(0), seq),
+            track,
+            label: label.into(),
+            start_us: start,
+            dur_us: dur,
+            detail: String::new(),
+        }
+    }
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            span(1, Track::Coordinator, "conversation", 0, 100),
+            span(1, Track::Coordinator, "op:read", 10, 30),
+            span(1, Track::Site { site: 1 }, "quorum-leg", 12, 20),
+            span(1, Track::Site { site: 1 }, "ccp:grant", 15, 5),
+            span(1, Track::Net, "queue", 11, 2),
+            span(2, Track::Coordinator, "conversation", 50, 40),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_balances() {
+        let json = chrome_trace_json(&sample_trace());
+        let check = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(check.begins, 6);
+        assert_eq!(check.ends, 6);
+        assert_eq!(check.processes, 2);
+        assert!(check.metadata >= 2 + 4, "process + thread names");
+    }
+
+    #[test]
+    fn overlapping_spans_split_onto_separate_lanes() {
+        // Two spans on the same track overlap without nesting: the lane
+        // splitter must not interleave their B/E pairs on one tid.
+        let events = vec![
+            span(1, Track::Coordinator, "a", 0, 50),
+            span(1, Track::Coordinator, "b", 25, 50),
+        ];
+        let json = chrome_trace_json(&events);
+        let check = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(check.begins, 2);
+        assert_eq!(check.ends, 2);
+        let typed = chrome_events(&events);
+        let tids: std::collections::BTreeSet<u64> = typed
+            .iter()
+            .filter(|e| e.ph == "B")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(tids.len(), 2, "overlap forces a second lane");
+    }
+
+    #[test]
+    fn validator_rejects_broken_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        let mut events = chrome_events(&sample_trace());
+        events.retain(|e| e.ph != "E");
+        let json = serde_json::to_string(&events).unwrap();
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn ascii_tree_nests_by_containment() {
+        let events: Vec<TraceEvent> = sample_trace()
+            .into_iter()
+            .filter(|e| e.txn.seq == 1)
+            .collect();
+        let tree = ascii_span_tree(&events);
+        assert!(tree.contains("txn T0.1"));
+        assert!(tree.contains("+- [coordinator] conversation"));
+        // ccp:grant is nested under the quorum leg, two levels deep.
+        assert!(tree.contains("    +- [site-1] ccp:grant"), "{tree}");
+        assert_eq!(ascii_span_tree(&[]), "(no spans)\n");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_us(875), "875us");
+        assert_eq!(fmt_us(12_340), "12.34ms");
+        assert_eq!(fmt_us(1_200_000), "1.20s");
+    }
+}

@@ -1,0 +1,315 @@
+//! Constant-memory log-bucketed latency histogram.
+//!
+//! An HdrHistogram-style design: values below [`LINEAR_LIMIT`] get one
+//! bucket each (exact), and every further power-of-two "era" is split into
+//! 16 sub-buckets, so the relative bucket width never exceeds 1/16
+//! (≈ 6.25 %). The bucket array covers the whole `u64` range with a fixed
+//! 976 counters, so a histogram costs a few kilobytes no matter how many
+//! samples are recorded — unlike the unbounded `Vec<Duration>` it replaces
+//! in the progress monitor.
+//!
+//! Histograms are mergeable (bucket-wise addition), which is what lets
+//! per-shard and per-site recorders be combined into one cluster-wide
+//! summary without retaining samples anywhere.
+
+use rainbow_common::LatencyStats;
+use std::time::Duration;
+
+/// Values below this are counted in width-1 buckets (exact).
+const LINEAR_LIMIT: u64 = 32;
+/// Sub-buckets per power-of-two era above the linear range.
+const SUB_BUCKETS: u64 = 16;
+/// Total bucket count: 32 linear + 59 eras × 16 sub-buckets.
+const N_BUCKETS: usize = 976;
+
+/// A constant-memory, mergeable latency histogram over `u64` microsecond
+/// values.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    sum_sq: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            sum_sq: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for a value.
+    pub fn index_for(value: u64) -> usize {
+        if value < LINEAR_LIMIT {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as u64; // ≥ 5
+        let shift = msb - 4; // brings the value into [16, 32)
+        let offset = (value >> shift) - SUB_BUCKETS;
+        (LINEAR_LIMIT + (shift - 1) * SUB_BUCKETS + offset) as usize
+    }
+
+    /// The `[low, high)` bounds of a bucket. Every value recorded into the
+    /// bucket satisfies `low <= value < high`, except the very top bucket,
+    /// whose upper bound saturates at `u64::MAX` and is inclusive there.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        if (index as u64) < LINEAR_LIMIT {
+            return (index as u64, index as u64 + 1);
+        }
+        let e = index as u64 - LINEAR_LIMIT;
+        let shift = e / SUB_BUCKETS + 1;
+        let offset = e % SUB_BUCKETS;
+        let low = (SUB_BUCKETS + offset) << shift;
+        let high = low.saturating_add(1u64 << shift);
+        (low, high)
+    }
+
+    /// Records one value (in microseconds).
+    pub fn record(&mut self, value_us: u64) {
+        self.counts[Self::index_for(value_us)] += 1;
+        self.count += 1;
+        self.sum += value_us as u128;
+        self.sum_sq += (value_us as f64) * (value_us as f64);
+        self.min = self.min.min(value_us);
+        self.max = self.max.max(value_us);
+    }
+
+    /// Records one duration, truncated to whole microseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Merges another histogram into this one. Bucket-wise addition: the
+    /// result is identical (bucket for bucket) to having recorded both
+    /// sample streams into a single histogram, in any order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded values (the sum is tracked exactly).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation of the recorded values.
+    pub fn stddev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = (self.sum_sq / self.count as f64) - mean * mean;
+        var.max(0.0).sqrt()
+    }
+
+    /// The nearest-rank quantile: walks the buckets to the one holding the
+    /// `⌈q·n⌉`-th smallest sample and returns that bucket's midpoint,
+    /// clamped into `[min, max]`. The answer is always within one bucket
+    /// width of the exact sorted-sample nearest-rank value.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            seen += bucket_count;
+            if seen >= rank {
+                let (low, high) = Self::bucket_bounds(index);
+                let mid = low + (high - low) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Summarizes the histogram as the workspace-wide [`LatencyStats`]
+    /// (count, mean, stddev, min/max, p50/p95/p99/p999).
+    pub fn to_latency_stats(&self) -> LatencyStats {
+        if self.count == 0 {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            count: self.count,
+            mean_us: self.mean(),
+            min_us: self.min(),
+            max_us: self.max(),
+            p50_us: self.value_at_quantile(0.50),
+            p95_us: self.value_at_quantile(0.95),
+            p99_us: self.value_at_quantile(0.99),
+            p999_us: self.value_at_quantile(0.999),
+            stddev_us: self.stddev(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_monotonic_and_in_range() {
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..64u32 {
+            let base = 1u64 << exp;
+            for nudge in [0i64, 1, -1, 7] {
+                if let Some(v) = base.checked_add_signed(nudge) {
+                    values.push(v);
+                }
+            }
+        }
+        values.push(u64::MAX);
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = LogHistogram::index_for(v);
+            assert!(idx < N_BUCKETS, "index {idx} out of range for {v}");
+            assert!(idx >= last, "bucket index not monotone at {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record(v);
+        }
+        for v in 0..LINEAR_LIMIT {
+            let (low, high) = LogHistogram::bucket_bounds(LogHistogram::index_for(v));
+            assert_eq!((low, high), (v, v + 1));
+        }
+        assert_eq!(h.count(), LINEAR_LIMIT);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), LINEAR_LIMIT - 1);
+    }
+
+    #[test]
+    fn quantiles_match_uniform_millisecond_samples() {
+        // Same shape as the LatencyStats unit test: 1..=100 ms.
+        let mut h = LogHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(ms * 1000);
+        }
+        let stats = h.to_latency_stats();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.min_us, 1_000);
+        assert_eq!(stats.max_us, 100_000);
+        assert!((stats.mean_us - 50_500.0).abs() < 1.0);
+        assert!(
+            stats.p50_us >= 49_000 && stats.p50_us <= 52_000,
+            "{stats:?}"
+        );
+        assert!(
+            stats.p95_us >= 94_000 && stats.p95_us <= 98_304,
+            "{stats:?}"
+        );
+        assert!(stats.p99_us >= 98_000, "{stats:?}");
+        assert!(stats.p999_us >= stats.p99_us);
+        assert!((stats.stddev_us - 28_866.0).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn single_sample_is_reported_exactly() {
+        let mut h = LogHistogram::new();
+        h.record(7_000);
+        let stats = h.to_latency_stats();
+        assert_eq!(stats.min_us, 7_000);
+        assert_eq!(stats.max_us, 7_000);
+        // Midpoint clamping pins every quantile to the one sample.
+        assert_eq!(stats.p50_us, 7_000);
+        assert_eq!(stats.p999_us, 7_000);
+        assert_eq!(stats.stddev_us, 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_default() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.to_latency_stats(), LatencyStats::default());
+        assert_eq!(h.value_at_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for v in [3u64, 50, 999, 12_345, 1_000_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [8u64, 64, 2_048, 77_777] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.to_latency_stats(), combined.to_latency_stats());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LogHistogram::new();
+        a.record(42);
+        let before = a.to_latency_stats();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.to_latency_stats(), before);
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.to_latency_stats(), before);
+    }
+}

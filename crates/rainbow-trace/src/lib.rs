@@ -1,0 +1,46 @@
+//! End-to-end transaction tracing for the Rainbow reproduction.
+//!
+//! The paper's whole point is *visibility* — its progress monitor and
+//! output panel let students watch protocol internals happen. This crate
+//! is the modern version of that idea: per-transaction span trees across
+//! every layer (coordinator conversation, per-site quorum legs, CCP
+//! decisions, ACP votes, WAL forces, network queue delay), constant-memory
+//! per-phase latency histograms, and exporters.
+//!
+//! # Architecture
+//!
+//! * [`Tracer`] is the cluster-wide sink. Every layer holds an
+//!   `Option<Arc<Tracer>>`; `None` (tracing disabled) keeps all recording
+//!   branches dead, so the hot path pays a single `Option` check.
+//! * Spans are flat [`TraceEvent`]s tagged with transaction id and
+//!   [`Track`]; the span *tree* is reconstructed at export time from time
+//!   containment, so protocol messages never carry trace context.
+//! * Span sampling ([`TraceConfig::sample_one_in`]) is deterministic on
+//!   the transaction id, so coordinator and participants agree without
+//!   coordination; a worst-N ring always retains the slowest
+//!   transactions' spans regardless of sampling.
+//! * Phase latencies go into [`LogHistogram`]s — log-bucketed, mergeable
+//!   and constant-memory — summarized as
+//!   [`rainbow_common::LatencyStats`] per [`Phase`].
+//!
+//! # Export
+//!
+//! [`chrome_trace_json`] produces a Perfetto-loadable Chrome trace-event
+//! file with balanced begin/end pairs; [`ascii_span_tree`] renders one
+//! transaction's tree for terminals. See `examples/trace_txn.rs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+mod export;
+mod histogram;
+mod sink;
+
+pub use event::{Phase, TraceEvent, Track};
+pub use export::{
+    ascii_span_tree, chrome_events, chrome_trace_json, validate_chrome_trace, ChromeArgs,
+    ChromeEvent, ChromeTraceCheck,
+};
+pub use histogram::LogHistogram;
+pub use sink::{TraceConfig, Tracer};

@@ -1,0 +1,94 @@
+//! Property-based tests for the log-bucketed histogram: bucket bounds
+//! always contain the recorded value, merging is order-independent, and
+//! quantiles stay within one bucket width of the exact sorted-sample
+//! nearest-rank answer.
+
+use proptest::prelude::*;
+use rainbow_trace::LogHistogram;
+
+/// The exact nearest-rank quantile over a sorted sample set.
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every recorded value lies within its bucket's `[low, high)` bounds.
+    #[test]
+    fn recorded_value_is_within_its_bucket_bounds(value in 0u64..u64::MAX) {
+        let index = LogHistogram::index_for(value);
+        let (low, high) = LogHistogram::bucket_bounds(index);
+        // The top bucket's high saturates at u64::MAX and is inclusive.
+        prop_assert!(low <= value && (value < high || high == u64::MAX),
+            "value {value} outside bucket {index} = [{low}, {high})");
+    }
+
+    /// Merging histograms is order-independent: recording two streams
+    /// into separate histograms and merging (in either direction) yields
+    /// the same summary as one histogram fed everything.
+    #[test]
+    fn merge_is_order_independent(
+        left in prop::collection::vec(0u64..10_000_000, 0..80),
+        right in prop::collection::vec(0u64..10_000_000, 0..80),
+    ) {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for &v in &left {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut a_then_b = a.clone();
+        a_then_b.merge(&b);
+        let mut b_then_a = b.clone();
+        b_then_a.merge(&a);
+        prop_assert_eq!(a_then_b.count(), combined.count());
+        prop_assert_eq!(a_then_b.to_latency_stats(), b_then_a.to_latency_stats());
+        prop_assert_eq!(a_then_b.to_latency_stats(), combined.to_latency_stats());
+    }
+
+    /// Histogram quantiles are within one bucket width of the exact
+    /// nearest-rank answer computed from the sorted samples.
+    #[test]
+    fn quantiles_within_one_bucket_width_of_exact(
+        mut samples in prop::collection::vec(0u64..100_000_000, 1..120),
+    ) {
+        let mut hist = LogHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.50, 0.95, 0.99, 0.999] {
+            let exact = exact_nearest_rank(&samples, q);
+            let approx = hist.value_at_quantile(q);
+            let (low, high) = LogHistogram::bucket_bounds(LogHistogram::index_for(exact));
+            let width = high - low;
+            let error = approx.abs_diff(exact);
+            prop_assert!(
+                error <= width,
+                "q={q}: approx {approx} vs exact {exact} (bucket width {width})"
+            );
+        }
+    }
+
+    /// Count, min, max and mean are exact whatever the input stream.
+    #[test]
+    fn scalar_summaries_are_exact(samples in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut hist = LogHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let exact_mean =
+            samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(hist.max(), *samples.iter().max().unwrap());
+        prop_assert!((hist.mean() - exact_mean).abs() < 1e-6 * (1.0 + exact_mean));
+    }
+}

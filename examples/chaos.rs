@@ -86,6 +86,20 @@ fn parse_args() -> Args {
     args
 }
 
+/// The span trees of every transaction a violation implicates, rendered
+/// next to the verdict so the artifact shows *where* each anomalous
+/// transaction spent its time.
+fn format_anomaly_traces(report: &NemesisReport) -> String {
+    if report.anomaly_traces.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\nanomalous transaction traces:\n");
+    for (txn, tree) in &report.anomaly_traces {
+        out.push_str(&format!("\n--- {txn} ---\n{tree}"));
+    }
+    out
+}
+
 fn write_artifacts(dir: &Path, report: &NemesisReport, args: &Args) {
     std::fs::create_dir_all(dir).expect("create chaos-artifacts/");
     let tag = format!("{}-seed{}", report.stack.replace('+', "_"), report.seed);
@@ -102,7 +116,7 @@ fn write_artifacts(dir: &Path, report: &NemesisReport, args: &Args) {
         "{}\n\nreplay locally:\n  RAINBOW_PARALLEL_QUORUMS={quorum_path} \
          cargo run --release --example chaos -- \
          --rcps {rcp} --ccps {ccp} --seed-start {} --seeds 1 \
-         --events {} --txns {} --conversations {}\n\nschedule:\n{}\n\nverdict:\n{}\n",
+         --events {} --txns {} --conversations {}\n\nschedule:\n{}\n\nverdict:\n{}\n{}",
         report.summary(),
         report.seed,
         args.events,
@@ -110,6 +124,7 @@ fn write_artifacts(dir: &Path, report: &NemesisReport, args: &Args) {
         args.interactive_transactions,
         format_schedule(&report.schedule),
         serde_json::to_string_pretty(&report.check).expect("verdict serializes"),
+        format_anomaly_traces(report),
     );
     std::fs::write(&seed_file, replay).expect("write failing-seed artifact");
     let history_file = dir.join(format!("history-{tag}.json"));

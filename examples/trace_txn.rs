@@ -1,0 +1,104 @@
+//! End-to-end transaction tracing: run a traced workload, export the span
+//! trees as a Chrome trace (loadable in Perfetto / `chrome://tracing`) and
+//! print the phase-level latency breakdown plus the span tree of the
+//! slowest transaction.
+//!
+//! Every transaction produces a tree of spans covering the whole stack:
+//! the coordinator conversation and its operations, the per-site quorum
+//! fan-out legs, the participants' concurrency-control decisions and
+//! commit-protocol votes, WAL forces and simulated-network queueing. Run
+//! with:
+//!
+//! ```text
+//! cargo run --example trace_txn
+//! ```
+//!
+//! The Chrome trace is written to `trace_txn.json` in the current
+//! directory (CI uploads it as an artifact).
+
+use rainbow_control::Session;
+use rainbow_control::WorkloadRunner;
+use rainbow_net::NetworkConfig;
+use rainbow_trace::{ascii_span_tree, chrome_trace_json, validate_chrome_trace, TraceConfig};
+use rainbow_wlg::{ArrivalProcess, WorkloadProfile};
+use std::time::Duration;
+
+fn main() {
+    // 1. Configure a 4-site cluster on a simulated LAN with tracing on for
+    //    every transaction (production setups would sample instead).
+    let mut session = Session::new();
+    session
+        .configure_network(
+            NetworkConfig::lan(Duration::from_micros(200), Duration::from_millis(1)).with_seed(7),
+        )
+        .expect("configure network");
+    session.configure_sites(4).expect("configure sites");
+    session
+        .configure_uniform_database(16, 100, 3)
+        .expect("configure database");
+    session.set_tracing(TraceConfig::sample_all());
+    session.start().expect("start Rainbow");
+
+    // 2. Run 100 transactions of the hot-spot profile — contention makes
+    //    the lock-wait phase visible in the histograms.
+    let wlg = WorkloadRunner::new(&session);
+    let report = wlg
+        .run_profile(
+            WorkloadProfile::HotSpotContention,
+            100,
+            ArrivalProcess::Closed { mpl: 8 },
+        )
+        .expect("run workload");
+    println!(
+        "ran {} transactions: {} committed, {} aborted\n",
+        report.results.len(),
+        report.stats.committed,
+        report.stats.aborted
+    );
+
+    let tracer = session
+        .tracer()
+        .expect("cluster running")
+        .expect("tracing enabled");
+
+    // 3. Export every captured span as a Chrome trace-event JSON array and
+    //    sanity-check it: valid JSON, balanced begin/end pairs.
+    let events = tracer.events();
+    let json = chrome_trace_json(&events);
+    let check = validate_chrome_trace(&json).expect("exported trace must validate");
+    std::fs::write("trace_txn.json", &json).expect("write trace_txn.json");
+    println!(
+        "wrote trace_txn.json: {} spans across {} transactions ({} begin / {} end events) — \
+         load it at ui.perfetto.dev",
+        check.begins, check.processes, check.begins, check.ends
+    );
+
+    // 4. Phase-level latency breakdown, aggregated over all 100
+    //    transactions from the constant-memory log-bucketed histograms.
+    println!("\nphase latency breakdown (ms):");
+    println!(
+        "  {:<12} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "phase", "count", "p50", "p95", "p99", "p999"
+    );
+    for (name, stats) in tracer.phase_stats() {
+        println!(
+            "  {:<12} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            name,
+            stats.count,
+            stats.p50_us as f64 / 1000.0,
+            stats.p95_us as f64 / 1000.0,
+            stats.p99_us as f64 / 1000.0,
+            stats.p999_us as f64 / 1000.0,
+        );
+    }
+
+    // 5. The worst-N ring always keeps the slowest transactions — render
+    //    the slowest one as an ASCII span tree.
+    if let Some(&(txn, total_us)) = tracer.slowest().first() {
+        println!(
+            "\nslowest transaction {txn} ({:.3} ms end-to-end):",
+            total_us as f64 / 1000.0
+        );
+        println!("{}", ascii_span_tree(&tracer.txn_events(txn)));
+    }
+}

@@ -10,4 +10,5 @@ pub use rainbow_core as core;
 pub use rainbow_net as net;
 pub use rainbow_replication as replication;
 pub use rainbow_storage as storage;
+pub use rainbow_trace as trace;
 pub use rainbow_wlg as wlg;

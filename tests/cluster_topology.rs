@@ -35,6 +35,7 @@ fn figure2_topology_multiple_sites_per_host() {
         network: NetworkConfig::perfect(),
         client_timeout: Duration::from_secs(5),
         record_history: false,
+        tracing: rainbow_trace::TraceConfig::disabled(),
     };
     let cluster = Cluster::start(config).unwrap();
     assert_eq!(cluster.site_ids().len(), 4);
@@ -106,6 +107,7 @@ fn per_link_latency_overrides_shape_response_times() {
         network,
         client_timeout: Duration::from_secs(5),
         record_history: false,
+        tracing: rainbow_trace::TraceConfig::disabled(),
     };
     let cluster = Cluster::start(config).unwrap();
 
@@ -140,6 +142,7 @@ fn partial_replication_places_copies_only_at_declared_holders() {
         network: NetworkConfig::perfect(),
         client_timeout: Duration::from_secs(5),
         record_history: false,
+        tracing: rainbow_trace::TraceConfig::disabled(),
     };
     let cluster = Cluster::start(config).unwrap();
 
