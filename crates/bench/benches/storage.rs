@@ -1,0 +1,156 @@
+//! Storage-engine commit throughput: memory vs disk, group commit on/off.
+//!
+//! Measures forced-commit throughput (the 2PC participant's "force a record
+//! before voting YES" path) under concurrent committers against each
+//! engine. The interesting number is the group-commit win: with fsync
+//! batching, concurrent `append_forced` calls coalesce into one fsync per
+//! batch; without it, every record pays a full fsync. The batched engine
+//! must sustain at least 2x the unbatched commit throughput.
+//!
+//! Results are printed as a table and written to `BENCH_storage.json` at
+//! the repo root. Run with `cargo bench --bench storage` (add `-- --quick`
+//! for a smoke run that leaves the committed JSON untouched).
+
+use rainbow_common::{ItemId, SiteId, TxnId, Value, Version};
+use rainbow_storage::{DiskEngine, LogRecord, MemoryEngine, StorageConfig, StorageEngine};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const THREADS: usize = 8;
+
+fn commit_record(thread: usize, seq: u64) -> LogRecord {
+    LogRecord::Commit {
+        txn: TxnId::new(SiteId(thread as u32), seq),
+        writes: vec![(
+            ItemId::new(format!("x{}", seq % 16)),
+            Value::Int(seq as i64),
+            Version(seq),
+        )],
+    }
+}
+
+struct Measurement {
+    ops_per_sec: f64,
+    fsyncs: u64,
+}
+
+/// `THREADS` concurrent committers each force `per_thread` commit records;
+/// returns throughput and how many physical syncs the engine performed.
+fn commit_throughput(engine: &dyn StorageEngine, per_thread: u64) -> Measurement {
+    let syncs_before = engine.force_count();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            scope.spawn(move || {
+                for seq in 0..per_thread {
+                    engine.append_forced(commit_record(thread, seq));
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    Measurement {
+        ops_per_sec: (THREADS as u64 * per_thread) as f64 / elapsed,
+        fsyncs: engine.force_count() - syncs_before,
+    }
+}
+
+fn bench_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rainbow-bench-storage-{}-{label}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn disk_measurement(label: &str, config: StorageConfig, per_thread: u64) -> Measurement {
+    let dir = bench_dir(label);
+    let engine = DiskEngine::new(&dir, &config, None);
+    engine.recover().expect("fresh dir recovers");
+    let result = commit_throughput(&engine, per_thread);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn print_row(name: &str, m: &Measurement, commits: u64, speedup: Option<f64>) {
+    let tail = speedup
+        .map(|s| format!("   {s:.2}x vs unbatched"))
+        .unwrap_or_default();
+    println!(
+        "{name:<18} {:>12.0} commits/s   {:>7} fsyncs / {commits} commits{tail}",
+        m.ops_per_sec, m.fsyncs
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The unbatched engine pays a real fsync per commit, so its budget has
+    // to stay modest even in full runs.
+    let (memory_per_thread, disk_per_thread, unbatched_per_thread) = if quick {
+        (20_000u64, 200u64, 25u64)
+    } else {
+        (200_000, 2_000, 250)
+    };
+
+    println!("storage-engine forced-commit throughput ({THREADS} concurrent committers)\n");
+
+    let memory = {
+        let engine = MemoryEngine::new();
+        commit_throughput(&engine, memory_per_thread)
+    };
+    print_row("memory", &memory, THREADS as u64 * memory_per_thread, None);
+
+    // Same commit budget for both disk variants so fsync counts compare.
+    let disk_config = StorageConfig::disk("unused-by-bench");
+    let batched = disk_measurement("batched", disk_config.clone(), disk_per_thread);
+    let unbatched = disk_measurement(
+        "unbatched",
+        disk_config.without_fsync_batching(),
+        unbatched_per_thread,
+    );
+    let speedup = batched.ops_per_sec / unbatched.ops_per_sec;
+    print_row(
+        "disk (unbatched)",
+        &unbatched,
+        THREADS as u64 * unbatched_per_thread,
+        None,
+    );
+    print_row(
+        "disk (batched)",
+        &batched,
+        THREADS as u64 * disk_per_thread,
+        Some(speedup),
+    );
+    println!(
+        "\ngroup commit coalesced {} commits into {} fsyncs",
+        THREADS as u64 * disk_per_thread,
+        batched.fsyncs
+    );
+
+    assert!(
+        speedup >= 2.0,
+        "fsync batching must buy >= 2x commit throughput, got {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"config\": {{\"threads\": {THREADS}, \"memory_commits_per_thread\": {memory_per_thread}, \"disk_commits_per_thread\": {disk_per_thread}, \"unbatched_commits_per_thread\": {unbatched_per_thread}, \"quick\": {quick}}},\n  \"memory\": {{\"commits_per_sec\": {:.0}, \"fsyncs\": {}}},\n  \"disk_unbatched\": {{\"commits_per_sec\": {:.0}, \"fsyncs\": {}}},\n  \"disk_batched\": {{\"commits_per_sec\": {:.0}, \"fsyncs\": {}, \"speedup_vs_unbatched\": {:.2}}}\n}}\n",
+        memory.ops_per_sec,
+        memory.fsyncs,
+        unbatched.ops_per_sec,
+        unbatched.fsyncs,
+        batched.ops_per_sec,
+        batched.fsyncs,
+        speedup,
+    );
+    if quick {
+        // Smoke runs (CI) must not clobber the committed full-run numbers.
+        println!("\nquick run: BENCH_storage.json left untouched");
+        return;
+    }
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_storage.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("\nresults written to BENCH_storage.json"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

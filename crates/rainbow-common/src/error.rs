@@ -38,6 +38,20 @@ pub enum RainbowError {
     Shutdown,
     /// Persistence (WAL / checkpoint) failure.
     Storage(String),
+    /// A durable log segment holds a corrupt record that is *not* a
+    /// recoverable torn tail: the damage sits in the middle of the log (or
+    /// the record decodes as garbage despite a valid checksum), so replay
+    /// cannot safely continue past it. Recovery surfaces this instead of
+    /// guessing; the operator (or the catch-up copier) must restore the
+    /// site from its peers.
+    CorruptLog {
+        /// Sequence number of the damaged segment file.
+        segment: u64,
+        /// Byte offset of the bad frame within the segment.
+        offset: u64,
+        /// What the scanner found (bad CRC, undecodable payload, ...).
+        reason: String,
+    },
     /// Serialization / deserialization of configuration failed.
     Serialization(String),
     /// Catch-all internal invariant violation; indicates a bug.
@@ -82,6 +96,14 @@ impl fmt::Display for RainbowError {
             RainbowError::Abort(cause) => write!(f, "transaction aborted: {cause}"),
             RainbowError::Shutdown => write!(f, "component is shutting down"),
             RainbowError::Storage(msg) => write!(f, "storage error: {msg}"),
+            RainbowError::CorruptLog {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt log: segment {segment} offset {offset}: {reason}"
+            ),
             RainbowError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             RainbowError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

@@ -67,6 +67,9 @@ impl SessionConfig {
             client_timeout: Duration::from_millis(self.client_timeout_ms),
             record_history: self.record_history,
             tracing: self.tracing.clone(),
+            // Engine selection is a deployment knob, not part of the saved
+            // session: the `RAINBOW_ENGINE` environment variable decides.
+            storage: rainbow_core::StorageConfig::from_env(),
         }
     }
 

@@ -32,7 +32,7 @@ use rainbow_common::history::History;
 use rainbow_common::protocol::{CcpKind, ProtocolStack, RcpKind};
 use rainbow_common::rng::{derive_seed, seeded_rng};
 use rainbow_common::{RainbowResult, SiteId, TxnId};
-use rainbow_core::{Cluster, ClusterConfig};
+use rainbow_core::{Cluster, ClusterConfig, EngineKind, PowerLossFault, StorageConfig};
 use rainbow_net::NetworkConfig;
 use rainbow_trace::{ascii_span_tree, TraceConfig};
 use rainbow_wlg::{InteractiveProfile, WorkloadGenerator, WorkloadProfile};
@@ -64,6 +64,19 @@ pub enum NemesisEvent {
         /// How far ahead the clock jumps.
         ticks: u64,
     },
+    /// Pull the plug on a site: drop **all** of its volatile state
+    /// (including storage-engine buffers), optionally tear or corrupt the
+    /// tail of its durable log, and restart it from the disk image alone
+    /// (with copier catch-up). On the memory engine this degrades to a
+    /// crash+recover. A recovery error — forgotten committed writes show up
+    /// later as checker violations, corruption before the tail as a typed
+    /// error — is collected into [`NemesisReport::event_errors`].
+    PowerLoss {
+        /// The site losing power.
+        site: SiteId,
+        /// What happens to the log tail.
+        fault: PowerLossFault,
+    },
 }
 
 impl fmt::Display for NemesisEvent {
@@ -83,6 +96,9 @@ impl fmt::Display for NemesisEvent {
             }
             NemesisEvent::Heal => write!(f, "heal"),
             NemesisEvent::ClockSkew { site, ticks } => write!(f, "clock-skew {site} +{ticks}"),
+            NemesisEvent::PowerLoss { site, fault } => {
+                write!(f, "power-loss {site} ({})", fault.name())
+            }
         }
     }
 }
@@ -129,6 +145,12 @@ pub struct NemesisConfig {
     /// Client timeout (kept short so conversations whose home site crashed
     /// orphan out quickly and retry elsewhere).
     pub client_timeout: Duration,
+    /// Storage engine the cluster under test runs on. Disk engines get a
+    /// unique per-run subdirectory so concurrent seeds never share files.
+    pub storage: StorageConfig,
+    /// Include power-loss events (kill-and-restart-from-disk, possibly
+    /// with a torn or corrupted log tail) in generated schedules.
+    pub power_loss: bool,
 }
 
 impl Default for NemesisConfig {
@@ -148,6 +170,8 @@ impl Default for NemesisConfig {
                 .with_commit_timeout(Duration::from_millis(400))
                 .with_parallel_quorums_from_env(),
             client_timeout: Duration::from_millis(800),
+            storage: StorageConfig::from_env(),
+            power_loss: true,
         }
     }
 }
@@ -168,6 +192,18 @@ impl NemesisConfig {
     /// Builder-style fault-event budget.
     pub fn with_events(mut self, events: usize) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Builder-style storage-engine selection.
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Builder-style power-loss toggle.
+    pub fn with_power_loss(mut self, enabled: bool) -> Self {
+        self.power_loss = enabled;
         self
     }
 }
@@ -206,6 +242,11 @@ pub fn generate_schedule(config: &NemesisConfig, seed: u64) -> Vec<ScheduledEven
         if partitioned {
             moves.push(3);
         }
+        // A power loss crashes its target only for the duration of the
+        // event, but that still counts against the minority-down envelope.
+        if config.power_loss && crashed.len() < max_down {
+            moves.push(5);
+        }
         let event = match moves[rng.gen_range(0..moves.len())] {
             0 => {
                 let live: Vec<SiteId> = sites
@@ -237,6 +278,17 @@ pub fn generate_schedule(config: &NemesisConfig, seed: u64) -> Vec<ScheduledEven
             3 => {
                 partitioned = false;
                 NemesisEvent::Heal
+            }
+            5 => {
+                let live: Vec<SiteId> = sites
+                    .iter()
+                    .filter(|s| !crashed.contains(s))
+                    .copied()
+                    .collect();
+                NemesisEvent::PowerLoss {
+                    site: live[rng.gen_range(0..live.len())],
+                    fault: PowerLossFault::ALL[rng.gen_range(0..PowerLossFault::ALL.len())],
+                }
             }
             _ => NemesisEvent::ClockSkew {
                 site: sites[rng.gen_range(0..sites.len())],
@@ -303,12 +355,18 @@ pub struct NemesisReport {
     /// verdict so a failing seed shows *where* the anomalous transactions
     /// spent their time. Empty for passing runs.
     pub anomaly_traces: BTreeMap<String, String>,
+    /// Errors surfaced while applying nemesis events — above all power-loss
+    /// recoveries that failed (e.g. a disk engine reporting mid-log
+    /// corruption). A run with event errors did not survive its faults and
+    /// is reported failed even when the history happens to check out.
+    pub event_errors: Vec<String>,
 }
 
 impl NemesisReport {
-    /// True when the run quiesced and the checker found no violation.
+    /// True when the run quiesced, every nemesis event applied cleanly and
+    /// the checker found no violation.
     pub fn passed(&self) -> bool {
-        self.quiesced && self.check.is_serializable()
+        self.quiesced && self.event_errors.is_empty() && self.check.is_serializable()
     }
 
     /// One-line summary for matrix logs.
@@ -325,6 +383,8 @@ impl NemesisReport {
                 "OK".to_string()
             } else if !self.quiesced {
                 "FAILED (history did not quiesce)".to_string()
+            } else if !self.event_errors.is_empty() {
+                format!("FAILED (event errors: {})", self.event_errors.join("; "))
             } else {
                 format!("FAILED ({})", self.check.summary())
             }
@@ -332,10 +392,12 @@ impl NemesisReport {
     }
 }
 
-/// Applies one nemesis event to a running cluster. Application is
-/// best-effort (a recover racing a concurrent shutdown is ignored): the
-/// checker judges outcomes, not event bookkeeping.
-fn apply_event(cluster: &Cluster, event: &NemesisEvent) {
+/// Applies one nemesis event to a running cluster. Most events are
+/// best-effort (a recover racing a concurrent shutdown is ignored; the
+/// checker judges outcomes, not event bookkeeping) — except a power loss,
+/// whose recovery failure is the exact bug class this nemesis hunts and is
+/// therefore reported back.
+fn apply_event(cluster: &Cluster, event: &NemesisEvent) -> Result<(), String> {
     match event {
         NemesisEvent::Crash(site) => {
             let _ = cluster.crash_site(*site);
@@ -350,7 +412,13 @@ fn apply_event(cluster: &Cluster, event: &NemesisEvent) {
         NemesisEvent::ClockSkew { site, ticks } => {
             let _ = cluster.skew_site_clock(*site, *ticks);
         }
+        NemesisEvent::PowerLoss { site, fault } => {
+            cluster
+                .power_loss_site(*site, *fault)
+                .map_err(|err| format!("{event}: {err}"))?;
+        }
     }
+    Ok(())
 }
 
 /// Runs one seeded nemesis experiment: fresh cluster, seed-derived schedule
@@ -364,6 +432,18 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
         config.replication_degree,
     )?;
     let items = database.item_ids();
+    // Disk engines get a unique per-run subdirectory (cleaned up with the
+    // cluster): concurrent seeds and stacked runs must never share files.
+    let mut storage = config.storage.clone();
+    if storage.engine == EngineKind::Disk {
+        if let Some(dir) = storage.data_dir.take() {
+            storage.data_dir = Some(dir.join(format!(
+                "nemesis-{}-seed{seed}",
+                config.stack.label().replace('+', "_")
+            )));
+        }
+        storage.ephemeral = true;
+    }
     let cluster = Cluster::start(ClusterConfig {
         distribution,
         database,
@@ -375,6 +455,7 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
         // known after the checker runs, and failed seeds must ship their
         // span trees.
         tracing: TraceConfig::sample_all(),
+        storage,
     })?;
 
     let schedule = generate_schedule(config, seed);
@@ -391,6 +472,7 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
         derive_seed(seed, "nemesis-conversations"),
     );
 
+    let mut event_errors: Vec<String> = Vec::new();
     std::thread::scope(|scope| {
         let cluster = &cluster;
         let mpl = config.mpl;
@@ -414,7 +496,9 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
             if !wait.is_zero() {
                 std::thread::sleep(wait);
             }
-            apply_event(cluster, &event.event);
+            if let Err(err) = apply_event(cluster, &event.event) {
+                event_errors.push(err);
+            }
         }
     });
 
@@ -462,6 +546,7 @@ pub fn run_nemesis(config: &NemesisConfig, seed: u64) -> RainbowResult<NemesisRe
         history,
         check,
         anomaly_traces,
+        event_errors,
     })
 }
 
@@ -526,10 +611,51 @@ mod tests {
                         partitioned = false;
                     }
                     NemesisEvent::ClockSkew { ticks, .. } => assert!(*ticks > 0),
+                    NemesisEvent::PowerLoss { site, .. } => {
+                        // Transiently down during the event: counts against
+                        // the minority-down envelope and never hits a site
+                        // that is already crashed.
+                        assert!(!crashed.contains(site), "no power loss on a crashed site");
+                        assert!(crashed.len() < max_down, "envelope leaves room");
+                    }
                 }
             }
             assert!(crashed.is_empty(), "seed {seed} must end fully recovered");
             assert!(!partitioned, "seed {seed} must end healed");
+        }
+    }
+
+    #[test]
+    fn power_loss_events_are_generated_and_optional() {
+        // The CI smoke runs 8 seeds: every fault kind must actually show
+        // up across a window that small, or the power-loss path rides
+        // along untested.
+        let config = NemesisConfig::default();
+        let mut faults_seen = std::collections::BTreeSet::new();
+        for seed in 0..8u64 {
+            for ScheduledEvent { event, .. } in &generate_schedule(&config, seed) {
+                if let NemesisEvent::PowerLoss { fault, .. } = event {
+                    faults_seen.insert(fault.name());
+                }
+            }
+        }
+        for fault in PowerLossFault::ALL {
+            assert!(
+                faults_seen.contains(fault.name()),
+                "seeds 0..8 never generated a {} power loss",
+                fault.name()
+            );
+        }
+
+        // And the knob really disables them.
+        let disabled = NemesisConfig::default().with_power_loss(false);
+        for seed in 0..8u64 {
+            for ScheduledEvent { event, .. } in &generate_schedule(&disabled, seed) {
+                assert!(
+                    !matches!(event, NemesisEvent::PowerLoss { .. }),
+                    "power loss generated while disabled"
+                );
+            }
         }
     }
 

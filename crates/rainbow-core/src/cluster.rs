@@ -21,6 +21,7 @@ use rainbow_common::stats::StatsSnapshot;
 use rainbow_common::txn::{TxnResult, TxnSpec};
 use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, Value, Version};
 use rainbow_net::{FaultController, NetworkConfig, NetworkCounters, NodeId, SimNetwork};
+use rainbow_storage::{PowerLossFault, StorageConfig};
 use rainbow_trace::{TraceConfig, Tracer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,6 +52,11 @@ pub struct ClusterConfig {
     /// case no tracer is constructed anywhere and every instrumentation
     /// point reduces to a `None` check.
     pub tracing: TraceConfig,
+    /// Storage engine every site runs on: the in-memory simulated WAL (the
+    /// fast deterministic default) or the on-disk log-structured engine.
+    /// [`ClusterConfig::quick`] reads the `RAINBOW_ENGINE` environment
+    /// variable so the whole test suite can be pointed at either engine.
+    pub storage: StorageConfig,
 }
 
 impl ClusterConfig {
@@ -73,6 +79,7 @@ impl ClusterConfig {
             client_timeout: Duration::from_secs(10),
             record_history: false,
             tracing: TraceConfig::disabled(),
+            storage: StorageConfig::from_env(),
         })
     }
 
@@ -107,10 +114,17 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder-style storage-engine override (see [`ClusterConfig::storage`]).
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> RainbowResult<()> {
         self.distribution.validate()?;
         self.database.validate()?;
+        self.storage.validate()?;
         if self.distribution.is_empty() {
             return Err(RainbowError::InvalidConfig("no sites configured".into()));
         }
@@ -177,6 +191,7 @@ impl Cluster {
             let site = SiteHandle::spawn(
                 spec.id,
                 config.stack.clone(),
+                &config.storage,
                 network.handle(),
                 mailbox,
                 metrics,
@@ -366,7 +381,7 @@ impl Cluster {
             .sites
             .get(&site)
             .ok_or(RainbowError::UnknownSite(site))?;
-        handle.recover_from_crash();
+        handle.recover_from_crash()?;
         self.network.faults().recover(NodeId::Site(site));
         Ok(())
     }
@@ -395,7 +410,33 @@ impl Cluster {
             .sites
             .get(&site)
             .ok_or(RainbowError::UnknownSite(site))?;
-        handle.recover_from_crash();
+        handle.recover_from_crash()?;
+        self.catch_up(site)?;
+        self.network.faults().recover(NodeId::Site(site));
+        std::thread::sleep(self.config.stack.quorum_timeout + self.config.stack.commit_timeout);
+        self.catch_up(site)?;
+        Ok(())
+    }
+
+    /// The power-loss nemesis, the durable sibling of
+    /// [`Cluster::recover_site_with_catchup`]: marks the site crashed,
+    /// drops **all** of its volatile state (including anything its storage
+    /// engine had buffered but not yet synced), optionally injects a torn
+    /// or corrupted tail write into its log, restarts it from the disk
+    /// image alone, and runs the same two-pass copier catch-up before the
+    /// site rejoins the network.
+    ///
+    /// On the memory engine the fault degrades to a plain crash+recover
+    /// (the simulated log has no tail to tear). Recovery errors — e.g. a
+    /// corrupted record *before* the log tail — surface as typed
+    /// [`RainbowError::CorruptLog`] values rather than panics.
+    pub fn power_loss_site(&self, site: SiteId, fault: PowerLossFault) -> RainbowResult<()> {
+        let handle = self
+            .sites
+            .get(&site)
+            .ok_or(RainbowError::UnknownSite(site))?;
+        self.network.faults().crash(NodeId::Site(site));
+        handle.power_loss(fault)?;
         self.catch_up(site)?;
         self.network.faults().recover(NodeId::Site(site));
         std::thread::sleep(self.config.stack.quorum_timeout + self.config.stack.commit_timeout);
@@ -535,11 +576,26 @@ impl Cluster {
         if self.shut_down.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Flush and fsync every site's storage engine *before* joining the
+        // site threads: a data directory reopened after this shutdown must
+        // find every record appended so far, not just the forced ones.
+        for site in self.sites.values() {
+            if let Err(err) = site.flush_and_sync() {
+                eprintln!("rainbow: flush on shutdown failed for {}: {err}", site.id());
+            }
+        }
         for site in self.sites.values_mut() {
             site.shutdown();
         }
         self.name_server.shutdown();
         self.network.shutdown();
+        // Throwaway data directories (RAINBOW_ENGINE=disk test runs) are
+        // removed once nothing is writing to them any more.
+        if self.config.storage.ephemeral {
+            if let Some(dir) = &self.config.storage.data_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
     }
 }
 

@@ -44,4 +44,5 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use messages::{Msg, NextOp, OpReply};
 pub use metrics::{ProgressMonitor, SiteMetrics};
 pub use name_server::NameServer;
+pub use rainbow_storage::{EngineKind, PowerLossFault, StorageConfig};
 pub use site::SiteHandle;

@@ -30,7 +30,7 @@ use rainbow_common::{
 };
 use rainbow_net::{Envelope, NetHandle, NodeId};
 use rainbow_replication::{make_rcp, ReplicationControl};
-use rainbow_storage::SiteStorage;
+use rainbow_storage::{PowerLossFault, SiteStorage, StorageConfig};
 use rainbow_trace::{Phase, TraceEvent, Tracer, Track};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -172,9 +172,11 @@ impl SiteHandle {
     /// Spawns a site that first fetches its schema from the name server.
     /// `history` is the cluster-wide transaction-history sink, `None` when
     /// recording is disabled.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         id: SiteId,
         stack: ProtocolStack,
+        storage: &StorageConfig,
         net: NetHandle<Msg>,
         mailbox: Receiver<Envelope<Msg>>,
         metrics: Arc<SiteMetrics>,
@@ -202,25 +204,32 @@ impl SiteHandle {
         let schema = schema.ok_or_else(|| {
             RainbowError::Timeout(format!("site {id} could not fetch the schema"))
         })?;
-        Ok(Self::spawn_with_schema(
-            id, stack, schema, net, mailbox, metrics, history, tracer,
-        ))
+        Self::spawn_with_schema(
+            id, stack, storage, schema, net, mailbox, metrics, history, tracer,
+        )
     }
 
     /// Spawns a site with an explicitly provided schema (no name-server
     /// round trip); used by tests and by recovery.
+    ///
+    /// A disk engine reopening an existing data directory comes back with
+    /// its committed state; items recovered from the log are *not*
+    /// re-initialized, and in-doubt transactions found in the log get a
+    /// status query to their coordinator (retried by the janitor until an
+    /// answer arrives).
     #[allow(clippy::too_many_arguments)]
     pub fn spawn_with_schema(
         id: SiteId,
         stack: ProtocolStack,
+        storage_config: &StorageConfig,
         schema: DatabaseSchema,
         net: NetHandle<Msg>,
         mailbox: Receiver<Envelope<Msg>>,
         metrics: Arc<SiteMetrics>,
         history: Option<Arc<HistorySink>>,
         tracer: Option<Arc<Tracer>>,
-    ) -> Self {
-        let storage = SiteStorage::new(id).with_tracer(tracer.clone());
+    ) -> RainbowResult<Self> {
+        let (storage, outcome) = SiteStorage::open(id, storage_config, tracer.clone())?;
         let local_items: Vec<(ItemId, Value)> = schema
             .items
             .iter()
@@ -259,16 +268,31 @@ impl SiteHandle {
             tracer,
         });
 
+        // A restart from an existing durable log may come back with in-doubt
+        // transactions (prepared, never decided before the previous process
+        // died). Chase their coordinators exactly like crash recovery does;
+        // the janitor keeps retrying until an answer arrives.
+        {
+            let mut in_doubt = shared.in_doubt.lock();
+            for txn in outcome.in_doubt {
+                in_doubt.insert(txn.txn, txn.writes.clone());
+                shared.send(
+                    NodeId::Site(txn.txn.home),
+                    Msg::AcpStatusQuery { txn: txn.txn },
+                );
+            }
+        }
+
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name(format!("rainbow-site-{}", id.0))
             .spawn(move || dispatcher_loop(dispatcher_shared, mailbox))
             .expect("failed to spawn site dispatcher");
 
-        SiteHandle {
+        Ok(SiteHandle {
             shared,
             dispatcher: Some(dispatcher),
-        }
+        })
     }
 
     /// The site's id.
@@ -320,11 +344,32 @@ impl SiteHandle {
     /// marking the site crashed in the [`rainbow_net::FaultController`]
     /// before, and recovering it after, so that no messages flow while the
     /// site is "down".
-    pub fn recover_from_crash(&self) {
-        let shared = &self.shared;
+    pub fn recover_from_crash(&self) -> RainbowResult<()> {
         // Volatile state is gone.
-        shared.storage.crash();
-        let outcome = shared.storage.recover();
+        self.shared.storage.crash();
+        self.restart_from_log()
+    }
+
+    /// The power-loss nemesis: drops **all** of the site's volatile state —
+    /// including whatever the durable engine had buffered but not yet
+    /// synced — optionally injecting a torn or corrupted tail write into
+    /// the log, then restarts the site from the disk image alone. On the
+    /// memory engine this degrades to [`SiteHandle::recover_from_crash`]
+    /// (its simulated log has no tail to tear).
+    ///
+    /// Errors surface recovery failures: a corrupted record *before* the
+    /// tail is a typed [`RainbowError::CorruptLog`], not a panic.
+    pub fn power_loss(&self, fault: PowerLossFault) -> RainbowResult<()> {
+        self.shared.storage.power_loss(fault);
+        self.restart_from_log()
+    }
+
+    /// Shared tail of [`SiteHandle::recover_from_crash`] and
+    /// [`SiteHandle::power_loss`]: rebuild committed state from the log,
+    /// reset concurrency control, and chase in-doubt transactions.
+    fn restart_from_log(&self) -> RainbowResult<()> {
+        let shared = &self.shared;
+        let outcome = shared.storage.recover()?;
         // Fresh CCP: every lock and timestamp table entry was volatile. The
         // replacement gets a recovery floor at the site's current logical
         // time — the clock observed the timestamp of every access granted
@@ -351,6 +396,24 @@ impl SiteHandle {
                 Msg::AcpStatusQuery { txn: txn.txn },
             );
         }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the durable engine: every record appended so far
+    /// is on stable storage when this returns. Called by cluster shutdown
+    /// so a data directory reopened later finds every committed write.
+    pub fn flush_and_sync(&self) -> RainbowResult<()> {
+        self.shared.storage.flush_and_sync()
+    }
+
+    /// Which storage engine this site runs on.
+    pub fn engine_kind(&self) -> rainbow_storage::EngineKind {
+        self.shared.storage.engine_kind()
+    }
+
+    /// Number of real sync (fsync) operations the site's engine performed.
+    pub fn storage_force_count(&self) -> u64 {
+        self.shared.storage.force_count()
     }
 
     /// Installs committed copies fetched from live peers — the catch-up
@@ -859,6 +922,7 @@ mod tests {
         SiteHandle::spawn_with_schema(
             SiteId(id),
             stack,
+            &StorageConfig::memory(),
             schema.clone(),
             net.handle(),
             mailbox,
@@ -866,6 +930,7 @@ mod tests {
             None,
             None,
         )
+        .expect("spawn site")
     }
 
     fn quick_stack() -> ProtocolStack {
@@ -1130,7 +1195,7 @@ mod tests {
         site.shared.storage.prepare(txn);
         site.shared.storage.commit(txn);
 
-        site.recover_from_crash();
+        site.recover_from_crash().unwrap();
         let snapshot = site.database_snapshot();
         assert!(snapshot.contains(&(ItemId::new("x0"), Value::Int(5), Version(1))));
         assert_eq!(site.active_transactions(), 0);

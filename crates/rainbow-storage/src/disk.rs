@@ -1,0 +1,1042 @@
+//! The on-disk log-structured storage engine.
+//!
+//! One directory per site holds a sequence of append-only **segment
+//! files** (`000001.seg`, `000002.seg`, ...). Each segment starts with an
+//! 8-byte header (magic `RBSG` + format version) followed by CRC-checked
+//! frames in the [`crate::codec`] format. Records are buffered in memory
+//! until a *force*, which writes the buffer to the active segment and
+//! `fsync`s it — so the on-disk prefix is exactly the forced prefix, and a
+//! power loss can only lose what durability semantics allow it to lose.
+//!
+//! **Group commit.** Under load, many transactions force the log
+//! concurrently. With fsync batching on (the default), the first forcer
+//! becomes the *leader*: it writes out everything buffered so far and pays
+//! one `fsync` for the whole batch; the others wait on a condition
+//! variable until the leader's sync covers their record. With batching off
+//! every forced append pays its own sync — the baseline
+//! `benches/storage.rs` compares against.
+//!
+//! **Rotation and compaction.** The active segment is rotated once it
+//! exceeds `segment_max_bytes`. When the total log exceeds
+//! `compaction_threshold_bytes` the engine asks for a checkpoint
+//! ([`StorageEngine::wants_compaction`]); compaction writes a fresh
+//! segment holding the checkpoint state plus every undecided prepare, then
+//! deletes all older segments.
+//!
+//! **Recovery.** [`StorageEngine::recover`] replays the segments in
+//! order. A torn frame (incomplete header or payload) or a bad-CRC frame
+//! at the very tail is the expected signature of a power loss and is
+//! truncated away; damage anywhere *else* — mid-log, or followed by valid
+//! frames — cannot be explained by a torn write and surfaces as
+//! [`RainbowError::CorruptLog`].
+//!
+//! **I/O errors.** Write or sync failures on the commit path are
+//! unrecoverable here: after a failed `fsync` the kernel may have dropped
+//! the dirty pages, so retrying would silently un-lose nothing (the
+//! PostgreSQL "fsyncgate" lesson). The engine panics the process rather
+//! than acknowledge a commit it cannot guarantee.
+
+use crate::codec::{self, FrameError, FRAME_HEADER_LEN};
+use crate::engine::{EngineKind, PowerLossFault, StorageEngine};
+use crate::recovery::{replay, RecoveryOutcome};
+use crate::wal::LogRecord;
+use parking_lot::{Condvar, Mutex};
+use rainbow_common::{ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"RBSG";
+/// On-disk format version written into every segment header.
+pub const SEGMENT_FORMAT_VERSION: u32 = 1;
+/// Size of the segment header (magic + version).
+pub const SEGMENT_HEADER_LEN: usize = 8;
+
+fn segment_header() -> [u8; SEGMENT_HEADER_LEN] {
+    let mut header = [0u8; SEGMENT_HEADER_LEN];
+    header[0..4].copy_from_slice(SEGMENT_MAGIC);
+    header[4..8].copy_from_slice(&SEGMENT_FORMAT_VERSION.to_le_bytes());
+    header
+}
+
+/// Whether the simulated machine is powered.
+#[derive(Debug)]
+enum Power {
+    /// Running, with the active segment open for appending.
+    On {
+        /// The active segment file, positioned at its end.
+        file: File,
+    },
+    /// Power lost (or never recovered): appends are dropped, forces
+    /// return without durability. [`StorageEngine::recover`] turns the
+    /// engine back on.
+    Off,
+}
+
+impl Power {
+    fn is_off(&self) -> bool {
+        matches!(self, Power::Off)
+    }
+}
+
+#[derive(Debug)]
+struct DiskState {
+    power: Power,
+    /// Sequence number of the active segment.
+    active_seq: u64,
+    /// Bytes written (not necessarily synced) to the active segment file.
+    flushed_len: u64,
+    /// Total bytes of all sealed (rotated-out) segments.
+    sealed_bytes: u64,
+    /// Encoded frames appended but not yet written to the file.
+    buf: Vec<u8>,
+    /// Number of records currently sitting in `buf`.
+    buf_records: usize,
+    /// Total appends so far; each append gets the next sequence number.
+    appended: u64,
+    /// Highest append sequence number known to be on stable storage.
+    synced_seq: u64,
+    /// True while a group-commit leader is off-lock inside `fsync`.
+    sync_in_flight: bool,
+    /// Number of `fsync`s performed (batches, not forced appends).
+    force_count: u64,
+    /// Records in the log (on disk + buffered).
+    record_count: usize,
+    /// Prepares without a later commit/abort, carried across compaction.
+    undecided: BTreeMap<TxnId, Vec<(ItemId, Value, Version)>>,
+}
+
+/// The on-disk log-structured engine. See the module docs for the format
+/// and concurrency model.
+#[derive(Debug)]
+pub struct DiskEngine {
+    dir: PathBuf,
+    fsync_batching: bool,
+    segment_max_bytes: u64,
+    compaction_threshold_bytes: u64,
+    tracer: Option<Arc<rainbow_trace::Tracer>>,
+    state: Mutex<DiskState>,
+    synced: Condvar,
+}
+
+impl DiskEngine {
+    /// Creates an engine over `dir` (one site's segment directory). The
+    /// engine starts powered off; call [`StorageEngine::recover`] to scan
+    /// the directory and start appending.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        config: &crate::engine::StorageConfig,
+        tracer: Option<Arc<rainbow_trace::Tracer>>,
+    ) -> Self {
+        DiskEngine {
+            dir: dir.into(),
+            fsync_batching: config.fsync_batching,
+            segment_max_bytes: config.segment_max_bytes,
+            compaction_threshold_bytes: config.compaction_threshold_bytes,
+            tracer,
+            state: Mutex::new(DiskState {
+                power: Power::Off,
+                active_seq: 0,
+                flushed_len: 0,
+                sealed_bytes: 0,
+                buf: Vec::new(),
+                buf_records: 0,
+                appended: 0,
+                synced_seq: 0,
+                sync_in_flight: false,
+                force_count: 0,
+                record_count: 0,
+                undecided: BTreeMap::new(),
+            }),
+            synced: Condvar::new(),
+        }
+    }
+
+    /// The directory this engine's segments live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of segment files currently in the directory.
+    pub fn segment_count(&self) -> usize {
+        list_segments(&self.dir).map_or(0, |segs| segs.len())
+    }
+
+    fn segment_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{seq:06}.seg"))
+    }
+
+    /// Tracks the prepared-but-undecided set as records are appended, so
+    /// compaction can carry in-doubt prepares into the fresh segment
+    /// without rescanning the log.
+    fn note_record(state: &mut DiskState, record: &LogRecord) {
+        match record {
+            LogRecord::Prepare { txn, writes } => {
+                state.undecided.insert(*txn, writes.clone());
+            }
+            LogRecord::Commit { txn, .. } | LogRecord::Abort { txn } => {
+                state.undecided.remove(txn);
+            }
+            LogRecord::Begin { .. } | LogRecord::Checkpoint { .. } => {}
+        }
+    }
+
+    /// Appends an encoded frame to the in-memory buffer. Returns the
+    /// record's append sequence number.
+    fn buffer_record(state: &mut DiskState, record: &LogRecord) -> u64 {
+        Self::note_record(state, record);
+        state.buf.extend_from_slice(&codec::encode_frame(record));
+        state.buf_records += 1;
+        state.record_count += 1;
+        state.appended += 1;
+        state.appended
+    }
+
+    /// Writes the buffered frames to the active segment file. Must be
+    /// called with the state lock held and power on.
+    fn write_buf(state: &mut DiskState) {
+        if state.buf.is_empty() {
+            return;
+        }
+        let Power::On { file } = &mut state.power else {
+            return;
+        };
+        file.write_all(&state.buf)
+            .expect("disk engine: segment write failed; cannot guarantee durability");
+        state.flushed_len += state.buf.len() as u64;
+        state.buf.clear();
+        state.buf_records = 0;
+    }
+
+    /// Rotates the active segment when it has outgrown the limit. Called
+    /// with the lock held, power on, and no sync in flight.
+    fn maybe_rotate(&self, state: &mut DiskState) {
+        if state.flushed_len < self.segment_max_bytes || state.power.is_off() {
+            return;
+        }
+        let next_seq = state.active_seq + 1;
+        let file = create_segment(&self.segment_path(next_seq))
+            .expect("disk engine: segment rotation failed");
+        sync_dir(&self.dir);
+        state.sealed_bytes += state.flushed_len;
+        state.active_seq = next_seq;
+        state.flushed_len = SEGMENT_HEADER_LEN as u64;
+        state.power = Power::On { file };
+    }
+
+    /// Blocks until every append up to `target` is durable, becoming the
+    /// group-commit leader when no sync is in flight. Returns immediately
+    /// (without durability) when power is off — the caller is a doomed
+    /// thread on a site that no longer exists.
+    fn sync_up_to(&self, target: u64) {
+        let mut state = self.state.lock();
+        loop {
+            if state.power.is_off() || state.synced_seq >= target {
+                return;
+            }
+            if state.sync_in_flight {
+                self.synced.wait(&mut state);
+                continue;
+            }
+            // Leader: flush everything buffered so far and pay one fsync
+            // for the whole batch.
+            state.sync_in_flight = true;
+            Self::write_buf(&mut state);
+            let batch_end = state.appended;
+            let Power::On { file } = &state.power else {
+                state.sync_in_flight = false;
+                self.synced.notify_all();
+                return;
+            };
+            let fd = file
+                .try_clone()
+                .expect("disk engine: cloning segment fd failed");
+            drop(state);
+
+            let start = Instant::now();
+            fd.sync_data()
+                .expect("disk engine: fsync failed; cannot guarantee durability");
+            if let Some(tracer) = &self.tracer {
+                tracer.record_phase(rainbow_trace::Phase::FsyncBatch, start.elapsed());
+            }
+
+            state = self.state.lock();
+            state.force_count += 1;
+            if !state.power.is_off() {
+                if state.synced_seq < batch_end {
+                    state.synced_seq = batch_end;
+                }
+                state.sync_in_flight = false;
+                self.maybe_rotate(&mut state);
+            } else {
+                state.sync_in_flight = false;
+            }
+            self.synced.notify_all();
+        }
+    }
+
+    /// The unbatched force path: flush + sync inline under the lock, so
+    /// every forced append pays its own fsync (the group-commit baseline).
+    fn sync_inline(&self, state: &mut DiskState) {
+        if state.power.is_off() {
+            return;
+        }
+        Self::write_buf(state);
+        let Power::On { file } = &state.power else {
+            return;
+        };
+        let start = Instant::now();
+        file.sync_data()
+            .expect("disk engine: fsync failed; cannot guarantee durability");
+        if let Some(tracer) = &self.tracer {
+            tracer.record_phase(rainbow_trace::Phase::FsyncBatch, start.elapsed());
+        }
+        state.force_count += 1;
+        state.synced_seq = state.appended;
+        self.maybe_rotate(state);
+    }
+}
+
+impl StorageEngine for DiskEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Disk
+    }
+
+    fn append(&self, record: LogRecord) {
+        let mut state = self.state.lock();
+        if state.power.is_off() {
+            return;
+        }
+        Self::buffer_record(&mut state, &record);
+    }
+
+    fn append_forced(&self, record: LogRecord) {
+        let mut state = self.state.lock();
+        if state.power.is_off() {
+            return;
+        }
+        let seq = Self::buffer_record(&mut state, &record);
+        if self.fsync_batching {
+            drop(state);
+            self.sync_up_to(seq);
+        } else {
+            // Wait out any batching leader left over from a config change
+            // is unnecessary: batching is fixed per engine. Sync inline.
+            self.sync_inline(&mut state);
+        }
+    }
+
+    fn force(&self) {
+        if self.fsync_batching {
+            let target = self.state.lock().appended;
+            self.sync_up_to(target);
+        } else {
+            let mut state = self.state.lock();
+            if state.synced_seq < state.appended {
+                self.sync_inline(&mut state);
+            }
+        }
+    }
+
+    fn force_count(&self) -> u64 {
+        self.state.lock().force_count
+    }
+
+    fn record_count(&self) -> usize {
+        self.state.lock().record_count
+    }
+
+    fn log_bytes(&self) -> u64 {
+        let state = self.state.lock();
+        state.sealed_bytes + state.flushed_len + state.buf.len() as u64
+    }
+
+    fn checkpoint(&self, snapshot: Vec<(ItemId, Value, Version)>) {
+        let mut state = self.state.lock();
+        // Wait out any in-flight sync: compaction rewrites the file set
+        // and must not race a leader syncing the old active segment.
+        while state.sync_in_flight {
+            self.synced.wait(&mut state);
+        }
+        if state.power.is_off() {
+            return;
+        }
+
+        // Fresh segment: checkpoint + carried-over undecided prepares +
+        // whatever was still buffered (order preserved relative to the
+        // checkpoint, so replay semantics match the memory WAL's
+        // compaction).
+        let next_seq = state.active_seq + 1;
+        let path = self.segment_path(next_seq);
+        let mut bytes = Vec::with_capacity(SEGMENT_HEADER_LEN + 64 * snapshot.len());
+        bytes.extend_from_slice(&segment_header());
+        bytes.extend_from_slice(&codec::encode_frame(&LogRecord::Checkpoint {
+            state: snapshot,
+        }));
+        let mut records = 1usize;
+        for (txn, writes) in &state.undecided {
+            bytes.extend_from_slice(&codec::encode_frame(&LogRecord::Prepare {
+                txn: *txn,
+                writes: writes.clone(),
+            }));
+            records += 1;
+        }
+        bytes.extend_from_slice(&state.buf);
+        records += state.buf_records;
+
+        let file = create_segment_with(&path, &bytes)
+            .expect("disk engine: checkpoint segment write failed");
+        file.sync_data()
+            .expect("disk engine: checkpoint fsync failed; cannot guarantee durability");
+        sync_dir(&self.dir);
+
+        // Drop every older segment: the checkpoint supersedes them.
+        let old_last = state.active_seq;
+        if let Ok(segments) = list_segments(&self.dir) {
+            for seq in segments {
+                if seq <= old_last {
+                    let _ = fs::remove_file(self.segment_path(seq));
+                }
+            }
+        }
+        sync_dir(&self.dir);
+
+        state.buf.clear();
+        state.buf_records = 0;
+        state.record_count = records;
+        state.sealed_bytes = 0;
+        state.flushed_len = bytes.len() as u64;
+        state.active_seq = next_seq;
+        state.synced_seq = state.appended;
+        state.force_count += 1;
+        state.power = Power::On { file };
+        self.synced.notify_all();
+    }
+
+    fn wants_compaction(&self) -> bool {
+        let state = self.state.lock();
+        !state.power.is_off()
+            && state.sealed_bytes + state.flushed_len + state.buf.len() as u64
+                > self.compaction_threshold_bytes
+    }
+
+    fn recover(&self) -> RainbowResult<RecoveryOutcome> {
+        let mut state = self.state.lock();
+        while state.sync_in_flight {
+            // A pre-power-loss leader may still be inside fsync on a
+            // cloned fd; let it drain before rebuilding.
+            self.synced.wait(&mut state);
+        }
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| RainbowError::Storage(format!("create {}: {e}", self.dir.display())))?;
+
+        let mut segments = list_segments(&self.dir)
+            .map_err(|e| RainbowError::Storage(format!("scan {}: {e}", self.dir.display())))?;
+        segments.sort_unstable();
+
+        if segments.is_empty() {
+            let file = create_segment(&self.segment_path(1))
+                .map_err(|e| RainbowError::Storage(format!("create segment: {e}")))?;
+            file.sync_data()
+                .map_err(|e| RainbowError::Storage(format!("sync segment: {e}")))?;
+            sync_dir(&self.dir);
+            state.power = Power::On { file };
+            state.active_seq = 1;
+            state.flushed_len = SEGMENT_HEADER_LEN as u64;
+            state.sealed_bytes = 0;
+            state.buf.clear();
+            state.buf_records = 0;
+            state.record_count = 0;
+            state.appended = 0;
+            state.synced_seq = 0;
+            state.undecided.clear();
+            return Ok(RecoveryOutcome::default());
+        }
+
+        let mut records: Vec<LogRecord> = Vec::new();
+        let mut sealed_bytes = 0u64;
+        let mut active_len = 0u64;
+        let last_index = segments.len() - 1;
+        for (index, &seq) in segments.iter().enumerate() {
+            let path = self.segment_path(seq);
+            let bytes = fs::read(&path)
+                .map_err(|e| RainbowError::Storage(format!("read {}: {e}", path.display())))?;
+            let is_last = index == last_index;
+            let scanned = scan_segment(&path, seq, &bytes, is_last)?;
+            records.extend(scanned.records);
+            if is_last {
+                active_len = scanned.valid_len;
+            } else {
+                sealed_bytes += scanned.valid_len;
+            }
+        }
+
+        let outcome = replay(&records);
+
+        // Reopen the last segment as the active one, truncating any torn
+        // or corrupt tail the scan rejected.
+        let active_seq = segments[last_index];
+        let path = self.segment_path(active_seq);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| RainbowError::Storage(format!("open {}: {e}", path.display())))?;
+        file.set_len(active_len)
+            .map_err(|e| RainbowError::Storage(format!("truncate {}: {e}", path.display())))?;
+        file.sync_data()
+            .map_err(|e| RainbowError::Storage(format!("sync {}: {e}", path.display())))?;
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| RainbowError::Storage(format!("reopen {}: {e}", path.display())))?;
+        if active_len < SEGMENT_HEADER_LEN as u64 {
+            // The segment's own header was torn (power died mid-rotation):
+            // rewrite it so future appends land in a well-formed file.
+            file.write_all(&segment_header())
+                .map_err(|e| RainbowError::Storage(format!("reheader {}: {e}", path.display())))?;
+            file.sync_data()
+                .map_err(|e| RainbowError::Storage(format!("sync {}: {e}", path.display())))?;
+            active_len = SEGMENT_HEADER_LEN as u64;
+        }
+
+        state.undecided = outcome
+            .in_doubt
+            .iter()
+            .map(|in_doubt| (in_doubt.txn, in_doubt.writes.clone()))
+            .collect();
+        state.record_count = records.len();
+        state.appended = records.len() as u64;
+        state.synced_seq = state.appended;
+        state.buf.clear();
+        state.buf_records = 0;
+        state.sealed_bytes = sealed_bytes;
+        state.flushed_len = active_len;
+        state.active_seq = active_seq;
+        state.power = Power::On { file };
+        Ok(outcome)
+    }
+
+    fn power_loss(&self, fault: PowerLossFault) {
+        let mut state = self.state.lock();
+        if state.power.is_off() {
+            return;
+        }
+        // Model the write that was racing the power failure: bytes the OS
+        // had partially (torn) or wrongly (corrupt) persisted. They go
+        // straight into the file, *after* everything already synced — a
+        // torn write can only damage the record being written, never the
+        // stable prefix.
+        let appended = state.appended;
+        if let Power::On { file } = &mut state.power {
+            let doomed = codec::encode_frame(&LogRecord::Commit {
+                txn: TxnId::new(SiteId(u32::MAX), appended),
+                writes: vec![(
+                    ItemId::new("__doomed__"),
+                    Value::Int(appended as i64),
+                    Version(u64::MAX),
+                )],
+            });
+            match fault {
+                PowerLossFault::Clean => {}
+                PowerLossFault::TornWrite => {
+                    let cut = FRAME_HEADER_LEN + (doomed.len() - FRAME_HEADER_LEN) / 2;
+                    file.write_all(&doomed[..cut])
+                        .expect("disk engine: fault injection write failed");
+                    state.flushed_len += cut as u64;
+                }
+                PowerLossFault::CorruptWrite => {
+                    let mut damaged = doomed;
+                    let last = damaged.len() - 1;
+                    damaged[last] ^= 0x20;
+                    file.write_all(&damaged)
+                        .expect("disk engine: fault injection write failed");
+                    state.flushed_len += damaged.len() as u64;
+                }
+            }
+        }
+        state.power = Power::Off;
+        state.buf.clear();
+        state.buf_records = 0;
+        state.undecided.clear();
+        // Wake every follower stuck waiting for a sync that will never
+        // come; they observe Off and bail.
+        self.synced.notify_all();
+    }
+
+    fn flush_and_sync(&self) -> RainbowResult<()> {
+        let mut state = self.state.lock();
+        while state.sync_in_flight {
+            self.synced.wait(&mut state);
+        }
+        if state.power.is_off() {
+            return Ok(());
+        }
+        if state.buf.is_empty() && state.synced_seq >= state.appended {
+            return Ok(());
+        }
+        let flush_result = (|| -> std::io::Result<()> {
+            if !state.buf.is_empty() {
+                let buffered = std::mem::take(&mut state.buf);
+                state.buf_records = 0;
+                let Power::On { file } = &mut state.power else {
+                    return Ok(());
+                };
+                file.write_all(&buffered)?;
+                state.flushed_len += buffered.len() as u64;
+            }
+            let Power::On { file } = &state.power else {
+                return Ok(());
+            };
+            file.sync_data()
+        })();
+        flush_result.map_err(|e| RainbowError::Storage(format!("flush_and_sync: {e}")))?;
+        state.synced_seq = state.appended;
+        state.force_count += 1;
+        Ok(())
+    }
+}
+
+/// The readable contents of one segment.
+struct ScannedSegment {
+    records: Vec<LogRecord>,
+    /// Bytes of the segment occupied by the header and valid frames; for
+    /// the last segment this is where a torn tail gets truncated.
+    valid_len: u64,
+}
+
+/// Decodes every frame of a segment, deciding for each failure whether it
+/// is a truncatable power-loss tail or unrecoverable corruption.
+fn scan_segment(
+    path: &Path,
+    seq: u64,
+    bytes: &[u8],
+    is_last: bool,
+) -> RainbowResult<ScannedSegment> {
+    let corrupt = |offset: usize, reason: String| RainbowError::CorruptLog {
+        segment: seq,
+        offset: offset as u64,
+        reason,
+    };
+
+    // Header: a short last segment is a rotation torn by power loss
+    // (recovery rewrites it); anything else malformed is corruption.
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        if is_last {
+            return Ok(ScannedSegment {
+                records: Vec::new(),
+                valid_len: 0,
+            });
+        }
+        return Err(corrupt(
+            0,
+            format!("segment header torn ({} bytes)", bytes.len()),
+        ));
+    }
+    if &bytes[0..4] != SEGMENT_MAGIC {
+        return Err(corrupt(0, format!("bad magic in {}", path.display())));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != SEGMENT_FORMAT_VERSION {
+        return Err(corrupt(
+            4,
+            format!("unsupported segment format version {version}"),
+        ));
+    }
+
+    let mut records = Vec::new();
+    let mut offset = SEGMENT_HEADER_LEN;
+    while offset < bytes.len() {
+        match codec::decode_frame(bytes, offset) {
+            Ok((record, next)) => {
+                records.push(record);
+                offset = next;
+            }
+            Err(err) => {
+                if !is_last {
+                    return Err(corrupt(offset, err.to_string()));
+                }
+                match err {
+                    ref torn if torn.is_torn() => {
+                        // The classic power-loss signature: truncate here.
+                    }
+                    // A bad-CRC *final* frame is a write that raced the
+                    // power failure; a bad-CRC frame *followed by valid
+                    // frames* cannot be (later writes imply this one
+                    // completed long ago) and is real corruption.
+                    FrameError::BadCrc { .. } if valid_frames_follow(bytes, offset) => {
+                        return Err(corrupt(offset, format!("{err} (valid frames follow)")));
+                    }
+                    FrameError::Malformed(_) => {
+                        // The checksum matched, so no torn or flipped write
+                        // produced this: it is a format-level fault.
+                        return Err(corrupt(offset, err.to_string()));
+                    }
+                    _ => {}
+                }
+                break;
+            }
+        }
+    }
+    Ok(ScannedSegment {
+        records,
+        valid_len: offset as u64,
+    })
+}
+
+/// True when any byte position after the frame at `offset` starts a chain
+/// of valid frames running exactly to the end of the buffer — evidence
+/// that the damage at `offset` sits in the *middle* of the log.
+fn valid_frames_follow(bytes: &[u8], offset: usize) -> bool {
+    // First try the damaged frame's own length field (damage may be
+    // confined to the payload), then every later byte position in case
+    // the length field itself is garbage. Segments are scanned only on
+    // recovery from damage, so the quadratic fallback is acceptable.
+    let mut candidates = Vec::new();
+    if bytes.len() - offset >= FRAME_HEADER_LEN {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        if let Some(skip) = offset.checked_add(FRAME_HEADER_LEN + len) {
+            if skip < bytes.len() {
+                candidates.push(skip);
+            }
+        }
+    }
+    candidates.extend(offset + 1..bytes.len().saturating_sub(FRAME_HEADER_LEN));
+    candidates.into_iter().any(|start| {
+        let mut cursor = start;
+        let mut decoded = 0usize;
+        while cursor < bytes.len() {
+            match codec::decode_frame(bytes, cursor) {
+                Ok((_, next)) => {
+                    decoded += 1;
+                    cursor = next;
+                }
+                Err(_) => return false,
+            }
+        }
+        decoded >= 1 && cursor == bytes.len()
+    })
+}
+
+fn list_segments(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut segments = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(segments),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name.strip_suffix(".seg") {
+            if let Ok(seq) = stem.parse::<u64>() {
+                segments.push(seq);
+            }
+        }
+    }
+    Ok(segments)
+}
+
+fn create_segment(path: &Path) -> std::io::Result<File> {
+    create_segment_with(path, &segment_header())
+}
+
+fn create_segment_with(path: &Path, bytes: &[u8]) -> std::io::Result<File> {
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    file.write_all(bytes)?;
+    Ok(file)
+}
+
+/// Best-effort directory sync so freshly created segment files survive a
+/// real power loss (ignored on platforms that refuse to sync directories).
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StorageConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn test_dir() -> PathBuf {
+        let seq = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("rainbow-disk-test-{}-{seq}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(SiteId(0), seq)
+    }
+
+    fn item(name: &str) -> ItemId {
+        ItemId::new(name)
+    }
+
+    fn commit_record(seq: u64, value: i64) -> LogRecord {
+        LogRecord::Commit {
+            txn: txn(seq),
+            writes: vec![(item("x"), Value::Int(value), Version(seq))],
+        }
+    }
+
+    fn open_engine(dir: &Path, config: &StorageConfig) -> DiskEngine {
+        let engine = DiskEngine::new(dir, config, None);
+        engine.recover().unwrap();
+        engine
+    }
+
+    #[test]
+    fn commits_survive_power_loss_and_reopen() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = open_engine(&dir, &config);
+        for i in 1..=5 {
+            engine.append_forced(commit_record(i, i as i64 * 10));
+        }
+        engine.append(LogRecord::Begin { txn: txn(6) }); // unforced: may be lost
+        engine.power_loss(PowerLossFault::Clean);
+        assert_eq!(engine.record_count(), 6, "counters freeze at power loss");
+
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 5, "the unforced Begin is gone");
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(50));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_recovery() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = open_engine(&dir, &config);
+        engine.append_forced(commit_record(1, 7));
+        engine.power_loss(PowerLossFault::TornWrite);
+
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 1);
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(7));
+
+        // Recovery truncated the torn bytes: a further cycle is clean.
+        engine.append_forced(commit_record(2, 8));
+        engine.power_loss(PowerLossFault::Clean);
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 2);
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(8));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_on_recovery() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = open_engine(&dir, &config);
+        engine.append_forced(commit_record(1, 7));
+        engine.power_loss(PowerLossFault::CorruptWrite);
+
+        let outcome = engine.recover().unwrap();
+        assert_eq!(
+            outcome.replayed_records, 1,
+            "the flipped-byte tail record must be dropped, not decoded"
+        );
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(7));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = open_engine(&dir, &config);
+        engine.append_forced(commit_record(1, 1));
+        engine.append_forced(commit_record(2, 2));
+        engine.append_forced(commit_record(3, 3));
+        engine.power_loss(PowerLossFault::Clean);
+
+        // Flip one byte in the middle of the segment: inside the second
+        // frame's payload, with valid frames after it.
+        let path = dir.join("000001.seg");
+        let mut bytes = fs::read(&path).unwrap();
+        let frame_len = codec::encode_frame(&commit_record(1, 1)).len();
+        let target = SEGMENT_HEADER_LEN + frame_len + FRAME_HEADER_LEN + 2;
+        bytes[target] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let err = engine.recover().unwrap_err();
+        assert!(
+            matches!(err, RainbowError::CorruptLog { segment: 1, .. }),
+            "expected CorruptLog, got {err:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_a_sealed_segment_is_a_typed_error() {
+        let dir = test_dir();
+        // Tiny segments force rotation quickly.
+        let config = StorageConfig::disk(&dir).with_segment_max_bytes(64);
+        let engine = open_engine(&dir, &config);
+        for i in 1..=6 {
+            engine.append_forced(commit_record(i, i as i64));
+        }
+        assert!(engine.segment_count() > 1, "rotation must have happened");
+        engine.power_loss(PowerLossFault::Clean);
+
+        // Damage the tail of the FIRST (sealed) segment: even tail damage
+        // is unrecoverable there, because later segments exist.
+        let path = dir.join("000001.seg");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        let err = engine.recover().unwrap_err();
+        assert!(matches!(err, RainbowError::CorruptLog { segment: 1, .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_spreads_the_log_across_segments_and_replays_in_order() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir).with_segment_max_bytes(64);
+        let engine = open_engine(&dir, &config);
+        for i in 1..=20 {
+            engine.append_forced(commit_record(i, i as i64));
+        }
+        assert!(engine.segment_count() >= 3);
+        engine.power_loss(PowerLossFault::Clean);
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 20);
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(20));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_old_segments_and_keeps_undecided_prepares() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir).with_segment_max_bytes(64);
+        let engine = open_engine(&dir, &config);
+        for i in 1..=10 {
+            engine.append_forced(commit_record(i, i as i64));
+        }
+        // One undecided prepare that must survive compaction.
+        engine.append_forced(LogRecord::Prepare {
+            txn: txn(99),
+            writes: vec![(item("y"), Value::Int(99), Version(1))],
+        });
+        let segments_before = engine.segment_count();
+        assert!(segments_before > 1);
+        let bytes_before = engine.log_bytes();
+
+        engine.checkpoint(vec![(item("x"), Value::Int(10), Version(10))]);
+        assert_eq!(engine.segment_count(), 1, "compaction drops old segments");
+        assert!(engine.log_bytes() < bytes_before);
+
+        engine.power_loss(PowerLossFault::Clean);
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.in_doubt.len(), 1);
+        assert_eq!(outcome.in_doubt[0].txn, txn(99));
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(10));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wants_compaction_after_threshold() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir).with_compaction_threshold(128);
+        let engine = open_engine(&dir, &config);
+        assert!(!engine.wants_compaction());
+        for i in 1..=10 {
+            engine.append_forced(commit_record(i, i as i64));
+        }
+        assert!(engine.wants_compaction());
+        engine.checkpoint(vec![(item("x"), Value::Int(10), Version(10))]);
+        assert!(!engine.wants_compaction());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_forces() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = Arc::new(open_engine(&dir, &config));
+        let threads = 8;
+        let commits_per_thread = 25;
+        std::thread::scope(|scope| {
+            for thread in 0..threads {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    for i in 0..commits_per_thread {
+                        let seq = (thread * commits_per_thread + i + 1) as u64;
+                        engine.append_forced(commit_record(seq, seq as i64));
+                    }
+                });
+            }
+        });
+        let total = (threads * commits_per_thread) as u64;
+        assert!(
+            engine.force_count() <= total,
+            "group commit must never fsync more than once per forced append"
+        );
+        engine.power_loss(PowerLossFault::Clean);
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, total as usize);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbatched_engine_pays_one_fsync_per_force() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir).without_fsync_batching();
+        let engine = open_engine(&dir, &config);
+        for i in 1..=10 {
+            engine.append_forced(commit_record(i, i as i64));
+        }
+        assert_eq!(engine.force_count(), 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_while_off_are_dropped() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = open_engine(&dir, &config);
+        engine.append_forced(commit_record(1, 1));
+        engine.power_loss(PowerLossFault::Clean);
+        engine.append_forced(commit_record(2, 2));
+        engine.append(LogRecord::Begin { txn: txn(3) });
+        engine.force();
+        assert!(engine.flush_and_sync().is_ok());
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_and_sync_makes_buffered_records_durable() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = open_engine(&dir, &config);
+        engine.append(commit_record(1, 5)); // unforced: buffered only
+        engine.flush_and_sync().unwrap();
+        engine.power_loss(PowerLossFault::Clean);
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 1);
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(5));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

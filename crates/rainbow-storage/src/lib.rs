@@ -18,17 +18,29 @@
 //!   uncommitted data to disappear.
 //!
 //! The model is therefore: a volatile [`store::VersionedStore`] (lost on
-//! crash) plus a durable [`wal::WriteAheadLog`] (survives crash), and a
-//! [`recovery`] module that rebuilds the store from the log and reports
-//! in-doubt transactions to the commit layer.
+//! crash) plus a durable log behind the pluggable [`engine::StorageEngine`]
+//! trait, and a [`recovery`] module that rebuilds the store from the log
+//! and reports in-doubt transactions to the commit layer.
+//!
+//! Two engines implement the trait: the original in-memory simulated WAL
+//! ([`engine::MemoryEngine`], the fast deterministic default) and an
+//! on-disk log-structured engine ([`disk::DiskEngine`]) with CRC-checked
+//! segment files, group-commit fsync batching, rotation/compaction and
+//! power-loss recovery (torn or corrupt tails are truncated; mid-log
+//! damage is a typed [`rainbow_common::RainbowError::CorruptLog`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
+pub mod disk;
+pub mod engine;
 pub mod recovery;
 pub mod store;
 pub mod wal;
 
-pub use recovery::{recover, RecoveryOutcome};
+pub use disk::DiskEngine;
+pub use engine::{EngineKind, MemoryEngine, PowerLossFault, StorageConfig, StorageEngine};
+pub use recovery::{recover, replay, RecoveryOutcome};
 pub use store::{CopyState, SiteStorage, VersionedStore};
 pub use wal::{LogRecord, LogSequence, WriteAheadLog};

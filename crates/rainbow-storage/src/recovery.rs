@@ -47,7 +47,15 @@ pub struct RecoveryOutcome {
 /// state (checkpoint snapshots, winning commits, in-doubt prepares) are
 /// copied out.
 pub fn recover(log: &WriteAheadLog) -> RecoveryOutcome {
-    log.with_durable_records(|records| {
+    log.with_durable_records(replay)
+}
+
+/// Replays a slice of log records front to back. This is the pure core of
+/// recovery shared by both engines: the memory engine hands it the forced
+/// prefix of its record vector, the disk engine the records it decoded
+/// from its segment files.
+pub fn replay(records: &[LogRecord]) -> RecoveryOutcome {
+    {
         let mut state: BTreeMap<ItemId, CopyState> = BTreeMap::new();
         let mut prepared: BTreeMap<TxnId, Vec<(ItemId, Value, Version)>> = BTreeMap::new();
         let replayed_records = records.len();
@@ -110,7 +118,7 @@ pub fn recover(log: &WriteAheadLog) -> RecoveryOutcome {
             in_doubt,
             replayed_records,
         }
-    })
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! The volatile, versioned item store of one Rainbow site, and the
 //! [`SiteStorage`] facade that pairs it with the write-ahead log.
 
-use crate::recovery::{recover, RecoveryOutcome};
-use crate::wal::{LogRecord, WriteAheadLog};
+use crate::engine::{EngineKind, MemoryEngine, PowerLossFault, StorageConfig, StorageEngine};
+use crate::recovery::RecoveryOutcome;
+use crate::wal::LogRecord;
 use parking_lot::RwLock;
 use rainbow_common::{
     FxHashMap, ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version,
@@ -213,23 +214,59 @@ impl VersionedStore {
 /// `SiteStorage` is cheaply cloneable (it is an `Arc` internally) so that
 /// the concurrency-control layer, the commit participant and the site
 /// runtime can all hold handles to the same storage.
+///
+/// The durable half is a pluggable [`StorageEngine`]: the in-memory
+/// simulated WAL by default ([`SiteStorage::new`]), or the on-disk
+/// log-structured engine when opened from a [`StorageConfig`] that selects
+/// it ([`SiteStorage::open`]).
 #[derive(Debug, Clone)]
 pub struct SiteStorage {
     site: SiteId,
     store: Arc<RwLock<VersionedStore>>,
-    log: WriteAheadLog,
+    engine: Arc<dyn StorageEngine>,
     tracer: Option<Arc<rainbow_trace::Tracer>>,
 }
 
 impl SiteStorage {
-    /// Creates empty storage for `site`.
+    /// Creates empty storage for `site` on the in-memory engine.
     pub fn new(site: SiteId) -> Self {
         SiteStorage {
             site,
             store: Arc::new(RwLock::new(VersionedStore::new())),
-            log: WriteAheadLog::new(),
+            engine: Arc::new(MemoryEngine::new()),
             tracer: None,
         }
+    }
+
+    /// Opens storage for `site` per `config` and recovers whatever the
+    /// engine's durable log already holds: a disk engine reopening an
+    /// existing data directory comes back with its committed state and
+    /// in-doubt transactions; a fresh directory (or the memory engine)
+    /// recovers to empty. Returns the storage plus the recovery outcome so
+    /// the commit layer can chase the restored in-doubt transactions.
+    pub fn open(
+        site: SiteId,
+        config: &StorageConfig,
+        tracer: Option<Arc<rainbow_trace::Tracer>>,
+    ) -> RainbowResult<(Self, RecoveryOutcome)> {
+        config.validate()?;
+        let engine: Arc<dyn StorageEngine> = match config.engine {
+            EngineKind::Memory => Arc::new(MemoryEngine::new()),
+            EngineKind::Disk => {
+                let root = config.data_dir.as_ref().expect("validated above");
+                let dir = root.join(format!("site-{}", site.0));
+                Arc::new(crate::disk::DiskEngine::new(dir, config, tracer.clone()))
+            }
+        };
+        let outcome = engine.recover()?;
+        let storage = SiteStorage {
+            site,
+            store: Arc::new(RwLock::new(VersionedStore::new())),
+            engine,
+            tracer,
+        };
+        storage.store.write().load(outcome.state.clone());
+        Ok((storage, outcome))
     }
 
     /// Attaches a tracer: every forced log append (the fsync stand-in) is
@@ -268,21 +305,33 @@ impl SiteStorage {
         self.site
     }
 
-    /// The underlying write-ahead log, by reference. (Callers that need an
-    /// owned shared handle can `.clone()` it — the log is an `Arc`
-    /// internally — but the borrow avoids even that refcount traffic on
-    /// per-call paths.)
-    pub fn log(&self) -> &WriteAheadLog {
-        &self.log
+    /// Which engine kind this storage runs on.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
     }
 
-    /// Creates the given items with their initial values and writes a
-    /// checkpoint so they survive a crash.
+    /// Number of records in the engine's log (durable or not).
+    pub fn record_count(&self) -> usize {
+        self.engine.record_count()
+    }
+
+    /// Number of force (sync) operations the engine performed. With
+    /// group-commit batching this counts batches, not forced appends.
+    pub fn force_count(&self) -> u64 {
+        self.engine.force_count()
+    }
+
+    /// Creates the given items with their initial values — but only the
+    /// ones the store does not already hold, so re-initializing after a
+    /// restart from disk never clobbers recovered state — and writes a
+    /// checkpoint so the schema survives a crash.
     pub fn initialize(&self, items: &[(ItemId, Value)]) {
         {
             let mut store = self.store.write();
             for (item, value) in items {
-                store.create(item.clone(), value.clone());
+                if !store.contains(item) {
+                    store.create(item.clone(), value.clone());
+                }
             }
         }
         self.checkpoint();
@@ -315,7 +364,7 @@ impl SiteStorage {
 
     /// Records that a transaction has begun at this site.
     pub fn log_begin(&self, txn: TxnId) {
-        self.log.append(LogRecord::Begin { txn });
+        self.engine.append(LogRecord::Begin { txn });
     }
 
     /// Durably prepares a transaction: its staged writes are forced to the
@@ -324,7 +373,7 @@ impl SiteStorage {
     pub fn prepare(&self, txn: TxnId) -> Vec<(ItemId, Value, Version)> {
         let writes = self.staged_writes(&txn);
         let start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
-        self.log.append_forced(LogRecord::Prepare {
+        self.engine.append_forced(LogRecord::Prepare {
             txn,
             writes: writes.clone(),
         });
@@ -337,11 +386,14 @@ impl SiteStorage {
     pub fn commit(&self, txn: TxnId) -> Vec<(ItemId, Value, Version)> {
         let installed = self.store.write().install(&txn);
         let start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
-        self.log.append_forced(LogRecord::Commit {
+        self.engine.append_forced(LogRecord::Commit {
             txn,
             writes: installed.clone(),
         });
         self.trace_force(txn, "wal:force", start_us, || format!("commit {txn}"));
+        if self.engine.wants_compaction() {
+            self.checkpoint();
+        }
         installed
     }
 
@@ -349,14 +401,14 @@ impl SiteStorage {
     /// in-doubt transactions whose staged writes only exist in the log).
     pub fn commit_writes(&self, txn: TxnId, writes: Vec<(ItemId, Value, Version)>) {
         self.store.write().install_writes(&writes);
-        self.log.append_forced(LogRecord::Commit { txn, writes });
+        self.engine.append_forced(LogRecord::Commit { txn, writes });
     }
 
     /// Aborts a transaction: staged writes are discarded and an abort record
     /// appended (not forced — aborts may be lost on crash and presumed).
     pub fn abort(&self, txn: TxnId) {
         self.store.write().discard(&txn);
-        self.log.append(LogRecord::Abort { txn });
+        self.engine.append(LogRecord::Abort { txn });
     }
 
     /// Installs committed copies fetched from live peers during recovery
@@ -382,22 +434,40 @@ impl SiteStorage {
     /// Writes a checkpoint of the committed state and compacts the log.
     pub fn checkpoint(&self) {
         let snapshot = self.store.read().snapshot();
-        self.log.checkpoint(snapshot);
+        self.engine.checkpoint(snapshot);
     }
 
     /// Simulates a crash: volatile state (committed copies in memory and all
     /// staged writes) is lost, and the unforced log tail disappears.
     pub fn crash(&self) {
+        self.power_loss(PowerLossFault::Clean);
+    }
+
+    /// Pulls the plug on this site's storage: every piece of volatile state
+    /// (committed copies in memory, staged writes, engine buffers) is lost
+    /// and only the synced log survives. `fault` optionally injects a torn
+    /// or bit-flipped tail into the durable log, exactly as a real power
+    /// loss could. Follow with [`SiteStorage::recover`].
+    pub fn power_loss(&self, fault: PowerLossFault) {
         self.store.write().clear();
-        self.log.simulate_crash();
+        self.engine.power_loss(fault);
     }
 
     /// Recovers from the durable log: rebuilds the committed state and
     /// returns the in-doubt transactions the commit layer must resolve.
-    pub fn recover(&self) -> RecoveryOutcome {
-        let outcome = recover(&self.log);
+    /// Mid-log damage the engine cannot safely replay past surfaces as
+    /// [`RainbowError::CorruptLog`].
+    pub fn recover(&self) -> RainbowResult<RecoveryOutcome> {
+        let outcome = self.engine.recover()?;
         self.store.write().load(outcome.state.clone());
-        outcome
+        Ok(outcome)
+    }
+
+    /// Flushes and syncs everything the engine has buffered (the clean
+    /// shutdown path: a stopped cluster must not owe any acked commit to
+    /// a buffer).
+    pub fn flush_and_sync(&self) -> RainbowResult<()> {
+        self.engine.flush_and_sync()
     }
 
     /// A snapshot of the committed state (used by replica-convergence tests
@@ -518,7 +588,7 @@ mod tests {
 
         storage.crash();
         assert!(storage.is_empty(), "volatile state must be lost");
-        let outcome = storage.recover();
+        let outcome = storage.recover().unwrap();
         assert!(outcome.in_doubt.is_empty());
         assert_eq!(
             storage.read(&item("x")).unwrap(),
@@ -538,7 +608,7 @@ mod tests {
         storage.stage_write(t, item("x"), Value::Int(7), Version(1));
         // No prepare, no commit: crash.
         storage.crash();
-        storage.recover();
+        storage.recover().unwrap();
         assert_eq!(
             storage.read(&item("x")).unwrap(),
             (Value::Int(0), Version(0))
@@ -555,7 +625,7 @@ mod tests {
         storage.stage_write(t, item("x"), Value::Int(9), Version(1));
         storage.prepare(t);
         storage.crash();
-        let outcome = storage.recover();
+        let outcome = storage.recover().unwrap();
         assert_eq!(outcome.in_doubt.len(), 1);
         assert_eq!(outcome.in_doubt[0].txn, t);
         assert_eq!(outcome.in_doubt[0].writes.len(), 1);
@@ -585,7 +655,7 @@ mod tests {
             (Value::Int(1), Version(0))
         );
         storage.crash();
-        let outcome = storage.recover();
+        let outcome = storage.recover().unwrap();
         assert!(outcome.in_doubt.is_empty());
         assert_eq!(
             storage.read(&item("x")).unwrap(),
@@ -603,11 +673,11 @@ mod tests {
             storage.prepare(t);
             storage.commit(t);
         }
-        let len_before = storage.log().len();
+        let len_before = storage.record_count();
         storage.checkpoint();
-        assert!(storage.log().len() < len_before);
+        assert!(storage.record_count() < len_before);
         storage.crash();
-        storage.recover();
+        storage.recover().unwrap();
         assert_eq!(
             storage.read(&item("x")).unwrap(),
             (Value::Int(10), Version(10))
@@ -651,7 +721,7 @@ mod tests {
 
         // The repair was checkpointed: it survives a crash.
         storage.crash();
-        storage.recover();
+        storage.recover().unwrap();
         assert_eq!(
             storage.read(&item("x")).unwrap(),
             (Value::Int(9), Version(3))

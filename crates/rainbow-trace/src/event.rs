@@ -94,17 +94,21 @@ pub enum Phase {
     WalForce,
     /// Network queue delay: message enqueue → delivery.
     QueueDelay,
+    /// One real `fsync` issued by the disk engine's group-commit leader;
+    /// each sample covers every forced append coalesced into that sync.
+    FsyncBatch,
 }
 
 impl Phase {
     /// All phases, in breakdown-table order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::LockWait,
         Phase::QuorumRead,
         Phase::Prepare,
         Phase::CommitApply,
         Phase::WalForce,
         Phase::QueueDelay,
+        Phase::FsyncBatch,
     ];
 
     /// The stable key used in `StatsSnapshot::phases` and JSON output.
@@ -116,6 +120,7 @@ impl Phase {
             Phase::CommitApply => "commit-apply",
             Phase::WalForce => "wal-force",
             Phase::QueueDelay => "queue-delay",
+            Phase::FsyncBatch => "fsync-batch",
         }
     }
 
@@ -143,12 +148,13 @@ mod tests {
     #[test]
     fn phase_names_cover_all_variants() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         for (i, phase) in Phase::ALL.iter().enumerate() {
             assert_eq!(phase.index(), i);
         }
         assert!(names.contains(&"lock-wait"));
         assert!(names.contains(&"wal-force"));
+        assert!(names.contains(&"fsync-batch"));
     }
 
     #[test]

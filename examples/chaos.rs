@@ -12,6 +12,7 @@
 
 use rainbow_common::protocol::{CcpKind, RcpKind};
 use rainbow_control::{format_schedule, run_nemesis, NemesisConfig, NemesisReport};
+use rainbow_core::StorageConfig;
 use std::path::Path;
 
 struct Args {
@@ -22,6 +23,7 @@ struct Args {
     events: usize,
     spec_transactions: usize,
     interactive_transactions: usize,
+    engine: String,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +35,7 @@ fn parse_args() -> Args {
         events: 6,
         spec_transactions: 32,
         interactive_transactions: 8,
+        engine: std::env::var("RAINBOW_ENGINE").unwrap_or_else(|_| "memory".into()),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -60,6 +63,13 @@ fn parse_args() -> Args {
                         .map(|name| name.parse().expect("unknown RCP in --rcps"))
                         .collect()
                 };
+            }
+            "--engine" => {
+                args.engine = value();
+                assert!(
+                    args.engine == "memory" || args.engine == "disk",
+                    "--engine takes memory|disk"
+                );
             }
             "--ccps" => {
                 let list = value();
@@ -116,12 +126,13 @@ fn write_artifacts(dir: &Path, report: &NemesisReport, args: &Args) {
         "{}\n\nreplay locally:\n  RAINBOW_PARALLEL_QUORUMS={quorum_path} \
          cargo run --release --example chaos -- \
          --rcps {rcp} --ccps {ccp} --seed-start {} --seeds 1 \
-         --events {} --txns {} --conversations {}\n\nschedule:\n{}\n\nverdict:\n{}\n{}",
+         --events {} --txns {} --conversations {} --engine {}\n\nschedule:\n{}\n\nverdict:\n{}\n{}",
         report.summary(),
         report.seed,
         args.events,
         args.spec_transactions,
         args.interactive_transactions,
+        args.engine,
         format_schedule(&report.schedule),
         serde_json::to_string_pretty(&report.check).expect("verdict serializes"),
         format_anomaly_traces(report),
@@ -146,6 +157,17 @@ fn main() {
     let mut failures = 0usize;
     let mut runs = 0usize;
 
+    // Disk runs share one root under the system temp dir; `run_nemesis`
+    // gives every (stack, seed) run its own ephemeral subdirectory inside
+    // it and the cluster removes that subdirectory at shutdown.
+    let storage = if args.engine == "disk" {
+        StorageConfig::disk(
+            std::env::temp_dir().join(format!("rainbow-chaos-{}", std::process::id())),
+        )
+    } else {
+        StorageConfig::memory()
+    };
+
     for rcp in &args.rcps {
         for ccp in &args.ccps {
             let config = NemesisConfig {
@@ -155,7 +177,8 @@ fn main() {
             }
             .with_rcp(*rcp)
             .with_ccp(*ccp)
-            .with_events(args.events);
+            .with_events(args.events)
+            .with_storage(storage.clone());
             for seed in args.seed_start..args.seed_start + args.seeds {
                 let report = run_nemesis(&config, seed).expect("nemesis run");
                 runs += 1;

@@ -36,6 +36,7 @@ fn figure2_topology_multiple_sites_per_host() {
         client_timeout: Duration::from_secs(5),
         record_history: false,
         tracing: rainbow_trace::TraceConfig::disabled(),
+        storage: rainbow_core::StorageConfig::from_env(),
     };
     let cluster = Cluster::start(config).unwrap();
     assert_eq!(cluster.site_ids().len(), 4);
@@ -108,6 +109,7 @@ fn per_link_latency_overrides_shape_response_times() {
         client_timeout: Duration::from_secs(5),
         record_history: false,
         tracing: rainbow_trace::TraceConfig::disabled(),
+        storage: rainbow_core::StorageConfig::from_env(),
     };
     let cluster = Cluster::start(config).unwrap();
 
@@ -143,6 +145,7 @@ fn partial_replication_places_copies_only_at_declared_holders() {
         client_timeout: Duration::from_secs(5),
         record_history: false,
         tracing: rainbow_trace::TraceConfig::disabled(),
+        storage: rainbow_core::StorageConfig::from_env(),
     };
     let cluster = Cluster::start(config).unwrap();
 
