@@ -8,7 +8,8 @@
 //! printed as a table and written to `BENCH_hotpath.json` at the repo root.
 //!
 //! Run with: `cargo bench --bench hot_path` (add `-- --quick` for a smoke
-//! run, as CI does).
+//! run, as CI does; `--out PATH` writes JSON to PATH even in quick mode,
+//! which is how the `bench-regression` gate gets a fresh measurement).
 
 use criterion::black_box;
 use rainbow_cc::{LockManager, LockMode};
@@ -373,7 +374,13 @@ fn quorum_latency(parallel: bool, txns: usize, ops_per_txn: usize) -> f64 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_override = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let (lock_iters, store_iters, txns) = if quick {
         (20_000, 50_000, 8)
     } else {
@@ -438,6 +445,16 @@ fn main() {
         parallel_us,
         quorum_speedup,
     );
+    if let Some(path) = out_override {
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("\nresults written to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if quick {
         // Smoke runs (CI) must not clobber the committed full-run numbers.
         println!("\nquick run: BENCH_hotpath.json left untouched");

@@ -1,0 +1,118 @@
+//! The CI perf-regression gate: compares freshly measured benchmark JSON
+//! against the committed `BENCH_*.json` baselines and exits non-zero when
+//! any higher-is-better metric dropped beyond tolerance.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-regression [--tolerance 0.2] --pair BASELINE CURRENT [--pair …]
+//! ```
+//!
+//! Each `--pair` names one committed baseline file and the corresponding
+//! fresh measurement (produced with the benches' `--out` flag). Every pair
+//! is compared with [`rainbow_bench::regression::compare`]; the process
+//! exits 1 if any pair regresses, printing a per-metric table either way.
+
+use rainbow_bench::regression;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: bench-regression [--tolerance FRACTION] --pair BASELINE CURRENT [--pair BASELINE CURRENT ...]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.20f64;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                let Some(raw) = args.get(i + 1) else { usage() };
+                match raw.parse::<f64>() {
+                    Ok(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                    _ => {
+                        eprintln!("bench-regression: tolerance must be a fraction in [0, 1)");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--pair" => {
+                let (Some(baseline), Some(current)) = (args.get(i + 1), args.get(i + 2)) else {
+                    usage()
+                };
+                pairs.push((baseline.clone(), current.clone()));
+                i += 3;
+            }
+            _ => usage(),
+        }
+    }
+    if pairs.is_empty() {
+        usage();
+    }
+
+    let mut failed = false;
+    for (baseline_path, current_path) in &pairs {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench-regression: cannot read {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let current = match std::fs::read_to_string(current_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench-regression: cannot read {current_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = match regression::compare(&baseline, &current, tolerance) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench-regression: {baseline_path} vs {current_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+        println!(
+            "{baseline_path} vs {current_path} (tolerance {:.0}%):",
+            tolerance * 100.0
+        );
+        for delta in &report.compared {
+            let flag = if delta.regressed(tolerance) {
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<46} {:>14.2} -> {:>14.2}  ({:>6.1}%){flag}",
+                delta.metric,
+                delta.baseline,
+                delta.current,
+                delta.ratio() * 100.0
+            );
+        }
+        for metric in &report.missing {
+            println!("  {metric:<46} MISSING from current run");
+        }
+        if report.passed() {
+            println!("  PASS ({} metrics)\n", report.compared.len());
+        } else {
+            println!(
+                "  FAIL ({} regressed, {} missing)\n",
+                report.regressions.len(),
+                report.missing.len()
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -168,7 +168,8 @@ impl Default for NemesisConfig {
                 .with_lock_wait_timeout(Duration::from_millis(150))
                 .with_quorum_timeout(Duration::from_millis(400))
                 .with_commit_timeout(Duration::from_millis(400))
-                .with_parallel_quorums_from_env(),
+                .with_parallel_quorums_from_env()
+                .with_coordinator_from_env(),
             client_timeout: Duration::from_millis(800),
             storage: StorageConfig::from_env(),
             power_loss: true,

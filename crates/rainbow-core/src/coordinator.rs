@@ -20,6 +20,8 @@
 //! One-shot `TxnSpec` submission is a *client-side* adapter replaying the
 //! spec through this same conversation; there is no second execution path.
 
+pub(crate) mod reactor;
+
 use crate::messages::{CopyAccessResult, Msg, NextOp, OpReply};
 use crate::site::SiteShared;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
@@ -637,7 +639,9 @@ fn assemble_quorums_parallel(
     let fanout_start = trace_now(shared);
     let mut rounds: Vec<QuorumRound> = Vec::with_capacity(items.len());
     for item in items {
-        let collector = start_quorum(shared, exec, item, access)?;
+        let collector = start_quorum(shared, exec, item, access, &mut |site, msg| {
+            shared.send(NodeId::Site(site), msg)
+        })?;
         // A plan that is unsatisfiable from the start (e.g. a tree-quorum
         // write while the tree root is down plans zero targets) must abort
         // now, not after the fan-out deadline expires.
@@ -800,12 +804,15 @@ enum QuorumAccess {
 
 /// Plans one quorum and sends its copy-access requests to every target
 /// site, returning the collector the replies feed into. Shared by the
-/// sequential and the parallel fan-out paths.
+/// sequential and the parallel fan-out paths, and by the reactor (which
+/// passes an outbox-queueing `send` so same-tick requests to one site
+/// coalesce into a single envelope; the threads path sends directly).
 fn start_quorum(
     shared: &Arc<SiteShared>,
     exec: &mut TxnExecution,
     item: &ItemId,
     access: QuorumAccess,
+    send: &mut dyn FnMut(SiteId, Msg),
 ) -> Result<QuorumCollector, AbortCause> {
     let schema = shared.schema.read();
     let placement = match schema.replication.placement(item) {
@@ -861,7 +868,7 @@ fn start_quorum(
                 for_update: true,
             },
         };
-        shared.send(NodeId::Site(*target), msg);
+        send(*target, msg);
         exec.contacted.insert(*target);
         if *target != shared.id {
             exec.messages += 1;
@@ -883,7 +890,9 @@ fn single_quorum(
     // read-for-update accesses reply like reads (they carry the value).
     let is_prewrite = access == QuorumAccess::Write;
     let fanout_start = trace_now(shared);
-    let mut collector = start_quorum(shared, exec, item, access)?;
+    let mut collector = start_quorum(shared, exec, item, access, &mut |site, msg| {
+        shared.send(NodeId::Site(site), msg)
+    })?;
 
     let deadline = Instant::now() + shared.stack.quorum_timeout;
     let mut first_ccp_cause: Option<AbortCause> = None;

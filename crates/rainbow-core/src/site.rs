@@ -14,6 +14,7 @@
 //!   whose coordinator disappeared and the recovery path that resolves
 //!   in-doubt transactions after a crash.
 
+use crate::coordinator::reactor::{ReactorEvent, ReactorPool};
 use crate::coordinator::run_interactive;
 use crate::messages::{CopyAccessResult, Msg, OpReply};
 use crate::metrics::SiteMetrics;
@@ -23,7 +24,7 @@ use rainbow_cc::{make_ccp, CcDecision, CcProtocol, TxnContext};
 use rainbow_commit::{Decision, Participant, ParticipantAction, ParticipantState, Vote};
 use rainbow_common::config::DatabaseSchema;
 use rainbow_common::history::HistorySink;
-use rainbow_common::protocol::ProtocolStack;
+use rainbow_common::protocol::{CoordinatorMode, ProtocolStack};
 use rainbow_common::{
     ItemId, RainbowError, RainbowResult, SiteId, Timestamp, TimestampGenerator, TxnId, Value,
     Version,
@@ -34,7 +35,7 @@ use rainbow_storage::{PowerLossFault, SiteStorage, StorageConfig};
 use rainbow_trace::{Phase, TraceEvent, Tracer, Track};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -83,6 +84,10 @@ pub(crate) struct SiteShared {
     /// The cluster-wide trace sink, `None` when tracing is disabled (the
     /// default) — same dead-branch pattern as `history`.
     pub tracer: Option<Arc<Tracer>>,
+    /// The sharded reactor pool, populated at spawn when the stack selects
+    /// [`CoordinatorMode::Reactor`]. Empty in thread-per-conversation mode,
+    /// so the dispatcher's `get()` check is the only cost there.
+    pub reactor: OnceLock<ReactorPool>,
 }
 
 impl SiteShared {
@@ -266,7 +271,12 @@ impl SiteHandle {
             shutdown: Arc::new(AtomicBool::new(false)),
             history,
             tracer,
+            reactor: OnceLock::new(),
         });
+
+        if shared.stack.coordinator == CoordinatorMode::Reactor {
+            let _ = shared.reactor.set(ReactorPool::spawn(&shared));
+        }
 
         // A restart from an existing durable log may come back with in-doubt
         // transactions (prepared, never decided before the previous process
@@ -444,6 +454,14 @@ impl SiteHandle {
         if let Some(thread) = self.dispatcher.take() {
             let _ = thread.join();
         }
+        // Reactor mode: the event loops observe the flag within one tick,
+        // fail their in-flight conversations and drain their outboxes.
+        if let Some(pool) = self.shared.reactor.get() {
+            pool.join();
+        }
+        // Stop the background compaction thread (a no-op on the memory
+        // engine, which never spawns one).
+        self.shared.storage.shutdown_compactor();
     }
 }
 
@@ -473,9 +491,15 @@ fn dispatcher_loop(shared: Arc<SiteShared>, mailbox: Receiver<Envelope<Msg>>) {
 }
 
 fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
-    // Responses go straight to the coordinator worker waiting for them.
+    // Responses go straight to the coordinator waiting for them: the
+    // owning reactor in reactor mode, the conversation worker's reply
+    // channel otherwise.
     if envelope.payload.is_coordinator_response() {
         if let Some(txn) = envelope.payload.txn() {
+            if let Some(pool) = shared.reactor.get() {
+                pool.route(txn.seq, ReactorEvent::Deliver(envelope));
+                return;
+            }
             let pending = shared.pending_replies.lock();
             if let Some(tx) = pending.get(&txn) {
                 let _ = tx.send(envelope);
@@ -487,20 +511,43 @@ fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
     match envelope.payload.clone() {
         Msg::TxnBegin { request, label } => {
             SiteMetrics::bump(&shared.metrics.home_transactions);
-            let worker_shared = Arc::clone(shared);
             let client = envelope.from;
-            // "The site dedicates one thread to process it." The thread now
-            // drives an interactive conversation instead of a fixed op list.
-            let _ = std::thread::Builder::new()
-                .name(format!("rainbow-txn-{}", shared.id.0))
-                .spawn(move || run_interactive(worker_shared, label, client, request));
+            if let Some(pool) = shared.reactor.get() {
+                // Reactor mode: allocate the id here (its sequence number
+                // pins the transaction to a reactor) and hand the
+                // conversation to the owning event loop.
+                let txn = TxnId::new(shared.id, shared.txn_seq.fetch_add(1, Ordering::Relaxed));
+                let ts = shared.clock.next();
+                pool.route(
+                    txn.seq,
+                    ReactorEvent::Begin {
+                        txn,
+                        ts,
+                        label,
+                        client,
+                        request,
+                    },
+                );
+            } else {
+                let worker_shared = Arc::clone(shared);
+                // "The site dedicates one thread to process it." The thread
+                // now drives an interactive conversation instead of a fixed
+                // op list.
+                let _ = std::thread::Builder::new()
+                    .name(format!("rainbow-txn-{}", shared.id.0))
+                    .spawn(move || run_interactive(worker_shared, label, client, request));
+            }
         }
         Msg::TxnOp { txn, .. } => {
-            // Route the client command to the coordinator worker driving the
+            // Route the client command to the coordinator driving the
             // conversation. When no worker is registered any more (the
             // conversation idled out and was aborted, or the site crashed
             // and recovered), tell the client instead of leaving it to its
-            // timeout.
+            // timeout; the reactor path answers `Gone` itself.
+            if let Some(pool) = shared.reactor.get() {
+                pool.route(txn.seq, ReactorEvent::Deliver(envelope));
+                return;
+            }
             let client = envelope.from;
             let routed = {
                 let pending = shared.pending_replies.lock();
@@ -578,6 +625,43 @@ fn dispatch(shared: &Arc<SiteShared>, envelope: Envelope<Msg>) {
             // A late or refreshed schema push: adopt it.
             *shared.schema.write() = database;
         }
+        Msg::Batch(msgs) => {
+            // A coalesced envelope from a reactor tick. Prepares and commit
+            // decisions are pulled out and handled as groups so their WAL
+            // forces ride one fsync each; everything else goes through the
+            // normal per-message path (which also routes any coordinator
+            // responses the batch carried).
+            let mut prepares = Vec::new();
+            let mut commits = Vec::new();
+            let mut rest = Vec::new();
+            for msg in msgs {
+                match msg {
+                    Msg::AcpPrepare { txn, ts, writes } => prepares.push((txn, ts, writes)),
+                    Msg::AcpDecision {
+                        txn,
+                        decision: Decision::Commit,
+                    } => commits.push(txn),
+                    other => rest.push(other),
+                }
+            }
+            if !prepares.is_empty() {
+                handle_prepare_batch(shared, envelope.from, prepares);
+            }
+            if !commits.is_empty() {
+                handle_decision_commit_batch(shared, envelope.from, commits);
+            }
+            for msg in rest {
+                dispatch(
+                    shared,
+                    Envelope {
+                        id: envelope.id,
+                        from: envelope.from,
+                        to: envelope.to,
+                        payload: msg,
+                    },
+                );
+            }
+        }
         // Messages a site never receives (or that only matter to clients /
         // the name server) are ignored.
         Msg::TxnBegan { .. }
@@ -634,6 +718,37 @@ fn handle_copy_access(
             },
         );
         return;
+    }
+    // Items in an in-doubt transaction's prepared write set are
+    // untouchable: the crash destroyed the locks that protected them, the
+    // prepared (pre-commit) version is what a read would return, and the
+    // outcome is unknown until ACP termination resolves it. Granting any
+    // access here lets a reader serialize against state that may be about
+    // to change — the write-skew anomaly the chaos lab convicts — so deny
+    // and let the client retry after the in-doubt window closes.
+    {
+        let in_doubt = shared.in_doubt.lock();
+        let blocked = in_doubt
+            .iter()
+            .any(|(holder, writes)| *holder != txn && writes.iter().any(|(i, _, _)| *i == item));
+        if blocked {
+            shared.send(
+                from,
+                Msg::CopyReply {
+                    txn,
+                    item: item.clone(),
+                    prewrite: access == CopyAccess::Prewrite,
+                    for_update: access == CopyAccess::Read { for_update: true },
+                    result: CopyAccessResult::Denied(
+                        rainbow_common::txn::AbortCause::CcpLockConflict {
+                            item: item.clone(),
+                            holder: None,
+                        },
+                    ),
+                },
+            );
+            return;
+        }
     }
     let ctx = shared.ensure_participant(txn, ts, from);
     let is_prewrite_reply = access == CopyAccess::Prewrite;
@@ -767,6 +882,120 @@ fn handle_prepare(
             format!("{vote:?} ({} writes)", writes.len())
         });
         shared.send(from, Msg::AcpVote { txn, vote });
+    }
+}
+
+/// Handles a batch of PREPARE requests that arrived in one coalesced
+/// envelope: each transaction is validated and staged individually, but the
+/// prepare records of every YES-voter are forced with a **single**
+/// [`rainbow_storage::SiteStorage::prepare_many`] group append — the
+/// group-commit half of the reactor pipeline. Votes travel back to the
+/// coordinator node in one batch envelope when there is more than one.
+fn handle_prepare_batch(
+    shared: &Arc<SiteShared>,
+    from: NodeId,
+    prepares: Vec<(TxnId, Timestamp, WriteSet)>,
+) {
+    let prepare_start = shared.trace_now();
+    let group = prepares.len();
+    // Phase 1: validate through the CCP and stage the writes of every
+    // transaction that can commit.
+    let mut rounds: Vec<(TxnId, TxnContext, bool, usize)> = Vec::with_capacity(group);
+    let mut yes_voters: Vec<TxnId> = Vec::with_capacity(group);
+    for (txn, ts, writes) in prepares {
+        SiteMetrics::bump(&shared.metrics.served_requests);
+        shared.clock.observe(ts);
+        let ctx = shared.ensure_participant(txn, ts, from);
+        let can_commit = shared.ccp().validate(&ctx).is_granted();
+        if can_commit {
+            for (item, value, version) in &writes {
+                shared
+                    .storage
+                    .stage_write(txn, item.clone(), value.clone(), *version);
+            }
+            yes_voters.push(txn);
+        }
+        rounds.push((txn, ctx, can_commit, writes.len()));
+    }
+    // Phase 2: one forced append covers every YES-voter's prepare record —
+    // still strictly before any YES vote leaves this site.
+    shared.storage.prepare_many(&yes_voters);
+    // Phase 3: advance the participant machines and vote.
+    let mut votes: Vec<Msg> = Vec::with_capacity(group);
+    for (txn, ctx, can_commit, n_writes) in rounds {
+        let action = {
+            let mut participants = shared.participants.lock();
+            let entry = participants.get_mut(&txn).expect("entry ensured above");
+            entry.last_activity = Instant::now();
+            entry.machine.on_prepare(can_commit)
+        };
+        if let ParticipantAction::SendVote(vote) = action {
+            if vote == Vote::Yes {
+                SiteMetrics::bump(&shared.metrics.votes_yes);
+            } else {
+                SiteMetrics::bump(&shared.metrics.votes_no);
+                // Voting NO releases local resources immediately.
+                shared.storage.abort(txn);
+                shared.ccp().abort(&ctx);
+            }
+            shared.trace_site_span(txn, Some(Phase::Prepare), "acp:vote", prepare_start, || {
+                format!("{vote:?} ({n_writes} writes, group of {group})")
+            });
+            votes.push(Msg::AcpVote { txn, vote });
+        }
+    }
+    match votes.len() {
+        0 => {}
+        1 => shared.send(from, votes.pop().expect("one vote")),
+        _ => shared.send(from, Msg::Batch(votes)),
+    }
+}
+
+/// Handles a batch of COMMIT decisions from one coalesced envelope: every
+/// participant machine advances individually, then all the commit records
+/// are forced with a single [`rainbow_storage::SiteStorage::commit_many`]
+/// group append and the writes installed under one store lock. Acks travel
+/// back in one batch envelope when there is more than one.
+fn handle_decision_commit_batch(shared: &Arc<SiteShared>, from: NodeId, txns: Vec<TxnId>) {
+    let apply_start = shared.trace_now();
+    let group = txns.len();
+    let mut to_apply: Vec<(TxnId, TxnContext)> = Vec::with_capacity(group);
+    let mut acks: Vec<Msg> = Vec::with_capacity(group);
+    for txn in txns {
+        shared.finished.lock().insert(txn);
+        let entry = shared.participants.lock().remove(&txn);
+        if let Some(mut entry) = entry {
+            match entry.machine.on_decision(Decision::Commit) {
+                ParticipantAction::ApplyAndAck(Decision::Commit) => {
+                    to_apply.push((txn, entry.ctx));
+                }
+                ParticipantAction::ApplyAndAck(Decision::Abort) => {
+                    apply_decision(shared, &entry.ctx, Decision::Abort);
+                }
+                _ => {}
+            }
+        }
+        // Ack even without a participant entry (already applied, cleaned
+        // up, or crashed and recovered), exactly like the single path.
+        acks.push(Msg::AcpAck { txn });
+    }
+    let apply_ids: Vec<TxnId> = to_apply.iter().map(|(txn, _)| *txn).collect();
+    let write_sets = shared.storage.commit_many(&apply_ids);
+    let ccp = shared.ccp();
+    for ((txn, ctx), writes) in to_apply.iter().zip(write_sets.iter()) {
+        ccp.commit(ctx, writes);
+        shared.trace_site_span(
+            *txn,
+            Some(Phase::CommitApply),
+            "apply:commit",
+            apply_start,
+            || format!("{} writes installed (group of {group})", writes.len()),
+        );
+    }
+    match acks.len() {
+        0 => {}
+        1 => shared.send(from, acks.pop().expect("one ack")),
+        _ => shared.send(from, Msg::Batch(acks)),
     }
 }
 

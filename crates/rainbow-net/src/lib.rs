@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod config;
 pub mod counters;
 pub mod fault;
 pub mod network;
 pub mod node;
 
+pub use batch::{FlushStats, Outbox};
 pub use config::{LatencyModel, LinkConfig, LinkOverride, NetworkConfig};
 pub use counters::NetworkCounters;
 pub use fault::FaultController;

@@ -330,6 +330,29 @@ impl StorageEngine for DiskEngine {
         }
     }
 
+    fn append_forced_many(&self, records: Vec<LogRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock();
+        if state.power.is_off() {
+            return;
+        }
+        // Buffer the whole group under one lock acquisition, then sync up
+        // to the last record: the group rides a single fsync whether or
+        // not another thread's force happens to lead the batch.
+        let mut last_seq = 0;
+        for record in &records {
+            last_seq = Self::buffer_record(&mut state, record);
+        }
+        if self.fsync_batching {
+            drop(state);
+            self.sync_up_to(last_seq);
+        } else {
+            self.sync_inline(&mut state);
+        }
+    }
+
     fn force(&self) {
         if self.fsync_batching {
             let target = self.state.lock().appended;
@@ -995,6 +1018,27 @@ mod tests {
         engine.power_loss(PowerLossFault::Clean);
         let outcome = engine.recover().unwrap();
         assert_eq!(outcome.replayed_records, total as usize);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_forced_many_pays_one_fsync_for_the_group() {
+        let dir = test_dir();
+        let config = StorageConfig::disk(&dir);
+        let engine = open_engine(&dir, &config);
+        let records: Vec<LogRecord> = (1..=5).map(|i| commit_record(i, i as i64)).collect();
+        engine.append_forced_many(records);
+        assert_eq!(engine.force_count(), 1, "the whole group rides one fsync");
+        engine.power_loss(PowerLossFault::Clean);
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 5);
+        assert_eq!(outcome.state.get(&item("x")).unwrap().value, Value::Int(5));
+
+        // Power off: the group is dropped like any other append.
+        engine.power_loss(PowerLossFault::Clean);
+        engine.append_forced_many(vec![commit_record(6, 6)]);
+        let outcome = engine.recover().unwrap();
+        assert_eq!(outcome.replayed_records, 5);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -200,6 +200,22 @@ pub trait StorageEngine: Send + Sync + std::fmt::Debug {
     /// only once the record is durable.
     fn append_forced(&self, record: LogRecord);
 
+    /// Appends several records and forces the log once for the whole
+    /// group, returning only when every record is durable. Semantically
+    /// equivalent to forcing each record in order, but an engine can pay a
+    /// single sync for the multi-transaction batch — this is how the
+    /// group-commit pipeline hands a reactor tick's commit-time records to
+    /// the fsync batcher as one unit instead of relying on lucky timing.
+    fn append_forced_many(&self, records: Vec<LogRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        for record in records {
+            self.append(record);
+        }
+        self.force();
+    }
+
     /// Forces everything appended so far.
     fn force(&self);
 

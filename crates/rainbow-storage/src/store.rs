@@ -4,13 +4,17 @@
 use crate::engine::{EngineKind, MemoryEngine, PowerLossFault, StorageConfig, StorageEngine};
 use crate::recovery::RecoveryOutcome;
 use crate::wal::LogRecord;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rainbow_common::{
     FxHashMap, ItemId, RainbowError, RainbowResult, SiteId, TxnId, Value, Version,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// The committed state of one copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -209,6 +213,61 @@ impl VersionedStore {
     }
 }
 
+/// The background checkpoint-compaction worker of one disk-backed site.
+///
+/// Commits used to run compaction inline when the log outgrew its
+/// threshold, stalling whichever transaction happened to trip it — and,
+/// on the reactor coordinator, stalling a whole reactor tick. The worker
+/// moves that work onto its own thread: the commit path merely *nudges*
+/// it, and it checkpoints off to the side while commits keep appending.
+#[derive(Debug)]
+struct Compactor {
+    nudge: SyncSender<()>,
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Compactor {
+    /// Spawns the worker. It wakes on a nudge (or every 100ms as a
+    /// safety net) and checkpoints whenever the engine asks for it.
+    fn spawn(
+        site: SiteId,
+        store: Arc<RwLock<VersionedStore>>,
+        engine: Arc<dyn StorageEngine>,
+    ) -> Self {
+        let (nudge, wakeups) = sync_channel::<()>(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("rainbow-compact-{}", site.0))
+            .spawn(move || loop {
+                let _ = wakeups.recv_timeout(Duration::from_millis(100));
+                if stop_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                if engine.wants_compaction() {
+                    let snapshot = store.read().snapshot();
+                    engine.checkpoint(snapshot);
+                }
+            })
+            .expect("spawn compaction thread");
+        Compactor {
+            nudge,
+            stop,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Stops and joins the worker (idempotent).
+    fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.nudge.try_send(());
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The durable + volatile storage of one Rainbow site.
 ///
 /// `SiteStorage` is cheaply cloneable (it is an `Arc` internally) so that
@@ -225,6 +284,7 @@ pub struct SiteStorage {
     store: Arc<RwLock<VersionedStore>>,
     engine: Arc<dyn StorageEngine>,
     tracer: Option<Arc<rainbow_trace::Tracer>>,
+    compactor: Option<Arc<Compactor>>,
 }
 
 impl SiteStorage {
@@ -235,6 +295,7 @@ impl SiteStorage {
             store: Arc::new(RwLock::new(VersionedStore::new())),
             engine: Arc::new(MemoryEngine::new()),
             tracer: None,
+            compactor: None,
         }
     }
 
@@ -259,11 +320,22 @@ impl SiteStorage {
             }
         };
         let outcome = engine.recover()?;
+        let store = Arc::new(RwLock::new(VersionedStore::new()));
+        // Only disk engines ever want compaction; the memory engine keeps
+        // its zero-thread footprint.
+        let compactor = (config.engine == EngineKind::Disk).then(|| {
+            Arc::new(Compactor::spawn(
+                site,
+                Arc::clone(&store),
+                Arc::clone(&engine),
+            ))
+        });
         let storage = SiteStorage {
             site,
-            store: Arc::new(RwLock::new(VersionedStore::new())),
+            store,
             engine,
             tracer,
+            compactor,
         };
         storage.store.write().load(outcome.state.clone());
         Ok((storage, outcome))
@@ -391,10 +463,89 @@ impl SiteStorage {
             writes: installed.clone(),
         });
         self.trace_force(txn, "wal:force", start_us, || format!("commit {txn}"));
-        if self.engine.wants_compaction() {
-            self.checkpoint();
-        }
+        self.maybe_compact();
         installed
+    }
+
+    /// Durably prepares a whole batch of transactions with one forced
+    /// append group: every transaction's staged writes go into the log,
+    /// then the engine pays a single force for the lot. Returns each
+    /// transaction's prepared writes, in input order.
+    pub fn prepare_many(&self, txns: &[TxnId]) -> Vec<Vec<(ItemId, Value, Version)>> {
+        let prepared: Vec<Vec<(ItemId, Value, Version)>> =
+            txns.iter().map(|txn| self.staged_writes(txn)).collect();
+        let start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
+        let records = txns
+            .iter()
+            .zip(&prepared)
+            .map(|(txn, writes)| LogRecord::Prepare {
+                txn: *txn,
+                writes: writes.clone(),
+            })
+            .collect();
+        self.engine.append_forced_many(records);
+        let group = txns.len();
+        for txn in txns {
+            self.trace_force(*txn, "wal:force", start_us, || {
+                format!("prepare {txn} (group of {group})")
+            });
+        }
+        prepared
+    }
+
+    /// Commits a whole batch of transactions with one forced append
+    /// group: every transaction's staged writes are installed, then all
+    /// commit records ride a single force. Returns each transaction's
+    /// installed writes, in input order.
+    pub fn commit_many(&self, txns: &[TxnId]) -> Vec<Vec<(ItemId, Value, Version)>> {
+        let installed: Vec<Vec<(ItemId, Value, Version)>> = {
+            let mut store = self.store.write();
+            txns.iter().map(|txn| store.install(txn)).collect()
+        };
+        let start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
+        let records = txns
+            .iter()
+            .zip(&installed)
+            .map(|(txn, writes)| LogRecord::Commit {
+                txn: *txn,
+                writes: writes.clone(),
+            })
+            .collect();
+        self.engine.append_forced_many(records);
+        let group = txns.len();
+        for txn in txns {
+            self.trace_force(*txn, "wal:force", start_us, || {
+                format!("commit {txn} (group of {group})")
+            });
+        }
+        self.maybe_compact();
+        installed
+    }
+
+    /// Compacts the log if the engine asks for it — on the background
+    /// worker when one exists (disk engines), inline otherwise. The
+    /// commit path must never stall on a checkpoint rewrite.
+    fn maybe_compact(&self) {
+        if !self.engine.wants_compaction() {
+            return;
+        }
+        match &self.compactor {
+            // A full nudge channel means the worker already has a wakeup
+            // pending; dropping this one is fine.
+            Some(compactor) => {
+                let _ = compactor.nudge.try_send(());
+            }
+            None => self.checkpoint(),
+        }
+    }
+
+    /// Stops and joins the background compaction worker, if any. Called
+    /// on site shutdown before the data directory may be removed; safe to
+    /// call more than once.
+    pub fn shutdown_compactor(&self) {
+        if let Some(compactor) = &self.compactor {
+            compactor.stop();
+        }
     }
 
     /// Commits a transaction using an explicit write set (recovery path for
@@ -732,6 +883,52 @@ mod tests {
             storage.repair_copies(&[(item("x"), Value::Int(9), Version(3))]),
             0
         );
+    }
+
+    #[test]
+    fn prepare_many_and_commit_many_pay_one_force_per_group() {
+        let storage = SiteStorage::new(SiteId(0));
+        storage.initialize(&[
+            (item("x"), Value::Int(0)),
+            (item("y"), Value::Int(0)),
+            (item("z"), Value::Int(0)),
+        ]);
+        storage.stage_write(txn(1), item("x"), Value::Int(1), Version(1));
+        storage.stage_write(txn(2), item("y"), Value::Int(2), Version(1));
+        storage.stage_write(txn(3), item("z"), Value::Int(3), Version(1));
+
+        let before = storage.force_count();
+        let prepared = storage.prepare_many(&[txn(1), txn(2), txn(3)]);
+        assert_eq!(storage.force_count(), before + 1, "one force per group");
+        assert_eq!(prepared.len(), 3);
+        assert_eq!(prepared[1], vec![(item("y"), Value::Int(2), Version(1))]);
+
+        let before = storage.force_count();
+        let installed = storage.commit_many(&[txn(1), txn(2), txn(3)]);
+        assert_eq!(storage.force_count(), before + 1, "one force per group");
+        assert_eq!(installed.len(), 3);
+        assert_eq!(
+            storage.read(&item("z")).unwrap(),
+            (Value::Int(3), Version(1))
+        );
+
+        // The batch is as durable as individual forced commits.
+        storage.crash();
+        let outcome = storage.recover().unwrap();
+        assert!(outcome.in_doubt.is_empty());
+        assert_eq!(
+            storage.read(&item("x")).unwrap(),
+            (Value::Int(1), Version(1))
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let storage = SiteStorage::new(SiteId(0));
+        let before = storage.force_count();
+        assert!(storage.prepare_many(&[]).is_empty());
+        assert!(storage.commit_many(&[]).is_empty());
+        assert_eq!(storage.force_count(), before);
     }
 
     #[test]

@@ -130,6 +130,38 @@ impl Phase {
     }
 }
 
+/// Dimensionless gauges sampled by the runtime — counts, not latencies.
+/// Each is backed by one histogram in the tracer, like a [`Phase`], but
+/// the recorded values are raw magnitudes (queue lengths, batch sizes)
+/// rather than durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Meter {
+    /// Events drained from one reactor's queue in a single tick — the
+    /// instantaneous backlog of the sharded coordinator.
+    ReactorQueueDepth,
+    /// Logical messages coalesced into the largest batch envelope of one
+    /// reactor tick's outbox flush.
+    ReactorBatchSize,
+}
+
+impl Meter {
+    /// All meters, in breakdown-table order.
+    pub const ALL: [Meter; 2] = [Meter::ReactorQueueDepth, Meter::ReactorBatchSize];
+
+    /// The stable key used in stats snapshots and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Meter::ReactorQueueDepth => "reactor-queue-depth",
+            Meter::ReactorBatchSize => "reactor-batch-size",
+        }
+    }
+
+    /// Index into the tracer's meter histogram array.
+    pub(crate) fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

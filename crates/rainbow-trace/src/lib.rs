@@ -37,7 +37,7 @@ mod export;
 mod histogram;
 mod sink;
 
-pub use event::{Phase, TraceEvent, Track};
+pub use event::{Meter, Phase, TraceEvent, Track};
 pub use export::{
     ascii_span_tree, chrome_events, chrome_trace_json, validate_chrome_trace, ChromeArgs,
     ChromeEvent, ChromeTraceCheck,

@@ -5,7 +5,7 @@
 //! the recording branches dead so a cluster with tracing disabled pays one
 //! `Option` check and nothing else (the same pattern as the history sink).
 
-use crate::event::{Phase, TraceEvent, Track};
+use crate::event::{Meter, Phase, TraceEvent, Track};
 use crate::histogram::LogHistogram;
 use parking_lot::Mutex;
 use rainbow_common::{LatencyStats, TxnId};
@@ -137,6 +137,7 @@ pub struct Tracer {
     retained: AtomicUsize,
     dropped: AtomicU64,
     phases: Vec<Mutex<LogHistogram>>,
+    meters: Vec<Mutex<LogHistogram>>,
     slowest: Mutex<SlowestRing>,
 }
 
@@ -155,6 +156,10 @@ impl Tracer {
             retained: AtomicUsize::new(0),
             dropped: AtomicU64::new(0),
             phases: Phase::ALL
+                .iter()
+                .map(|_| Mutex::new(LogHistogram::new()))
+                .collect(),
+            meters: Meter::ALL
                 .iter()
                 .map(|_| Mutex::new(LogHistogram::new()))
                 .collect(),
@@ -247,6 +252,32 @@ impl Tracer {
             self.store(shard, events);
         }
         keep
+    }
+
+    /// Records one meter sample — a raw magnitude (queue depth, batch
+    /// size), not a duration. Like phase histograms, meters are always
+    /// populated while tracing is enabled, independent of span sampling.
+    pub fn record_meter(&self, meter: Meter, value: u64) {
+        self.meters[meter.index()].lock().record(value);
+    }
+
+    /// A merged clone of one meter's histogram.
+    pub fn meter_histogram(&self, meter: Meter) -> LogHistogram {
+        self.meters[meter.index()].lock().clone()
+    }
+
+    /// Per-meter magnitude summaries, keyed by [`Meter::name`]. The
+    /// `LatencyStats` fields read as raw values, not microseconds. Meters
+    /// with no samples are omitted.
+    pub fn meter_stats(&self) -> BTreeMap<String, LatencyStats> {
+        let mut out = BTreeMap::new();
+        for meter in Meter::ALL {
+            let hist = self.meters[meter.index()].lock();
+            if !hist.is_empty() {
+                out.insert(meter.name().to_string(), hist.to_latency_stats());
+            }
+        }
+        out
     }
 
     /// A merged clone of one phase's histogram.
@@ -417,6 +448,22 @@ mod tests {
         assert_eq!(stats["wal-force"].count, 1);
         assert!(!stats.contains_key("prepare"));
         assert!(!tracer.phase_histogram(Phase::LockWait).is_empty());
+    }
+
+    #[test]
+    fn meter_histograms_record_raw_magnitudes() {
+        let tracer = Tracer::new(TraceConfig::histograms_only());
+        tracer.record_meter(Meter::ReactorQueueDepth, 3);
+        tracer.record_meter(Meter::ReactorQueueDepth, 17);
+        tracer.record_meter(Meter::ReactorBatchSize, 8);
+        let stats = tracer.meter_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats["reactor-queue-depth"].count, 2);
+        assert_eq!(stats["reactor-batch-size"].count, 1);
+        assert!(!tracer.meter_histogram(Meter::ReactorBatchSize).is_empty());
+        // An untouched tracer reports no meters at all.
+        let idle = Tracer::new(TraceConfig::sample_all());
+        assert!(idle.meter_stats().is_empty());
     }
 
     #[test]

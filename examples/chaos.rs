@@ -96,6 +96,16 @@ fn parse_args() -> Args {
     args
 }
 
+/// The coordinator design every run in this invocation uses — NemesisConfig
+/// resolves it from the same environment variable, so recording the env
+/// value (with the same default) records what actually ran.
+fn coordinator_mode() -> String {
+    match std::env::var("RAINBOW_COORDINATOR") {
+        Ok(raw) if raw.trim().eq_ignore_ascii_case("reactor") => "reactor".into(),
+        _ => "threads".into(),
+    }
+}
+
 /// The span trees of every transaction a violation implicates, rendered
 /// next to the verdict so the artifact shows *where* each anomalous
 /// transaction spent its time.
@@ -118,12 +128,14 @@ fn write_artifacts(dir: &Path, report: &NemesisReport, args: &Args) {
     let rcp = layers.next().unwrap_or("QC");
     let ccp = layers.next().unwrap_or("2PL");
     // The replay command must pin *everything* the schedule and workload
-    // derive from — seed, event budget, workload volume and the quorum
-    // fan-out path — or the local run would rebuild a different scenario
-    // than the one that failed.
+    // derive from — seed, event budget, workload volume, the quorum
+    // fan-out path and the coordinator design — or the local run would
+    // rebuild a different scenario than the one that failed.
     let quorum_path = std::env::var("RAINBOW_PARALLEL_QUORUMS").unwrap_or_else(|_| "1".into());
+    let coordinator = coordinator_mode();
     let replay = format!(
-        "{}\n\nreplay locally:\n  RAINBOW_PARALLEL_QUORUMS={quorum_path} \
+        "{}\ncoordinator: {coordinator}\n\nreplay locally:\n  \
+         RAINBOW_PARALLEL_QUORUMS={quorum_path} RAINBOW_COORDINATOR={coordinator} \
          cargo run --release --example chaos -- \
          --rcps {rcp} --ccps {ccp} --seed-start {} --seeds 1 \
          --events {} --txns {} --conversations {} --engine {}\n\nschedule:\n{}\n\nverdict:\n{}\n{}",
@@ -196,7 +208,11 @@ fn main() {
         }
     }
 
-    println!("chaos matrix: {runs} runs, {failures} failure(s)");
+    println!(
+        "chaos matrix: {runs} runs, {failures} failure(s) ({} coordinator, {} engine)",
+        coordinator_mode(),
+        args.engine
+    );
     if failures > 0 {
         eprintln!(
             "replay any failing seed with the command inside its \

@@ -30,6 +30,7 @@ fn quick_stack() -> ProtocolStack {
         .with_quorum_timeout(Duration::from_millis(300))
         .with_commit_timeout(Duration::from_millis(300))
         .with_parallel_quorums_from_env()
+        .with_coordinator_from_env()
 }
 
 fn disk_cluster(dir: &Path) -> Cluster {

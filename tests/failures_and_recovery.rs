@@ -14,6 +14,7 @@ fn stack() -> ProtocolStack {
         .with_quorum_timeout(Duration::from_millis(400))
         .with_commit_timeout(Duration::from_millis(400))
         .with_parallel_quorums_from_env()
+        .with_coordinator_from_env()
 }
 
 fn session(sites: usize, items: usize, degree: usize, rcp: RcpKind) -> Session {

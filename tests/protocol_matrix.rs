@@ -16,6 +16,7 @@ fn base_stack() -> ProtocolStack {
         .with_quorum_timeout(Duration::from_millis(500))
         .with_commit_timeout(Duration::from_millis(500))
         .with_parallel_quorums_from_env()
+        .with_coordinator_from_env()
 }
 
 fn run_stack(stack: ProtocolStack) -> (usize, usize) {

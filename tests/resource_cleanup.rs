@@ -14,7 +14,8 @@ fn run_and_check(ccp: CcpKind, transactions: usize, mpl: usize) {
         .with_lock_wait_timeout(Duration::from_millis(150))
         .with_quorum_timeout(Duration::from_millis(500))
         .with_commit_timeout(Duration::from_millis(500))
-        .with_parallel_quorums_from_env();
+        .with_parallel_quorums_from_env()
+        .with_coordinator_from_env();
     let config = ClusterConfig::quick(3, 8, 3).unwrap().with_stack(stack);
     let cluster = Cluster::start(config).unwrap();
     let params = WorkloadProfile::WriteHeavy.params(

@@ -27,7 +27,8 @@ fn run_workload(rcp: RcpKind, tracing: TraceConfig) -> Vec<Observation> {
             ProtocolStack::rainbow_default()
                 .with_rcp(rcp)
                 .with_lock_wait_timeout(Duration::from_millis(150))
-                .with_parallel_quorums_from_env(),
+                .with_parallel_quorums_from_env()
+                .with_coordinator_from_env(),
         )
         .unwrap();
     session.configure_uniform_database(8, 100, 3).unwrap();
